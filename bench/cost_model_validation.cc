@@ -1,0 +1,82 @@
+// Validation of the Section IV-A offline analytical BMM cost model.
+//
+// The paper: "we found that this analytical model was accurate within 5%
+// of the measured dense matrix multiply runtimes ... However, this model
+// does not extend to the top-K selection stage ... the min-heap traversal
+// time is non-negligible — at least 9.5% for our largest models.
+// Therefore, we report results for OPTIMUS only using the online sampling
+// approach."  This bench reproduces both halves: per model, the predicted
+// GEMM time vs the measured GEMM time (should be close), and vs the full
+// BMM pipeline including top-K (should underpredict, more so for K=50).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "core/cost_model.h"
+#include "linalg/gemm.h"
+#include "solvers/bmm.h"
+
+using namespace mips;
+using namespace mips::bench;
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  BenchConfig config;
+  ParseBenchFlags(argc, argv, &flags, &config);
+
+  auto cost_model = BmmCostModel::Calibrate();
+  cost_model.status().CheckOK();
+  std::printf("== Offline BMM cost model (Section IV-A) ==\n");
+  std::printf("calibrated sustained rate: %.2f GFLOP/s\n\n",
+              cost_model->sustained_flops() / 1e9);
+
+  TablePrinter table({"Model", "predicted GEMM", "measured GEMM",
+                      "GEMM error", "BMM total (K=1)", "BMM total (K=50)",
+                      "heap share (K=50)"});
+  for (const char* id :
+       {"netflix-nomad-50", "r2-nomad-50", "kdd-ref-51",
+        "glove-twitter-100"}) {
+    auto preset = FindModelPreset(id);
+    preset.status().CheckOK();
+    const MFModel model = MakeBenchModel(*preset, config);
+    const Index m = model.num_users();
+    const Index n = model.num_items();
+    const Index f = model.num_factors();
+
+    // Measured GEMM alone (users x items scoring), batched like BMM.
+    Matrix scores(std::min<Index>(m, 2048), n);
+    WallTimer timer;
+    for (Index begin = 0; begin < m; begin += scores.rows()) {
+      const Index b = std::min<Index>(scores.rows(), m - begin);
+      GemmNT(model.users.Row(begin), b, model.items.data(), n, f, 1, 0,
+             scores.data(), n);
+    }
+    const double measured_gemm = timer.Seconds();
+    const double predicted = cost_model->PredictScoringSeconds(m, n, f);
+
+    // Full pipeline, K=1 and K=50.
+    double bmm_k1 = 0;
+    double bmm_k50 = 0;
+    {
+      BmmSolver bmm;
+      bmm_k1 = TimeEndToEnd(&bmm, model, 1).total();
+    }
+    {
+      BmmSolver bmm;
+      bmm_k50 = TimeEndToEnd(&bmm, model, 50).total();
+    }
+    table.AddRow(
+        {preset->id, FormatSeconds(predicted), FormatSeconds(measured_gemm),
+         Fmt(100.0 * (predicted - measured_gemm) / measured_gemm, 1) + " %",
+         FormatSeconds(bmm_k1), FormatSeconds(bmm_k50),
+         Fmt(100.0 * (bmm_k50 - predicted) / bmm_k50, 1) + " %"});
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: GEMM prediction within ~5%% of measurement; the "
+      "data-dependent heap pass is unmodeled and non-negligible (>=9.5%% "
+      "of the pipeline on large models, growing with K) — which is why "
+      "OPTIMUS relies on online sampling instead.\n");
+  return 0;
+}

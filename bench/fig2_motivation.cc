@@ -1,0 +1,49 @@
+// Figure 2: the motivating experiment.
+//
+// End-to-end top-K runtime of blocked matrix multiply vs LEMP vs FEXIPRO
+// on the Netflix f=50 model (BMM should win) and the Yahoo R2 f=50 model
+// (the indexes should win), for K in {1, 5, 10, 50}.  The paper's claim is
+// the *crossover*: neither pure strategy dominates across inputs.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace mips;
+using namespace mips::bench;
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  BenchConfig config;
+  ParseBenchFlags(argc, argv, &flags, &config);
+  const std::vector<Index> ks = ParseKList(config.ks);
+
+  std::printf("== Figure 2: BMM vs LEMP vs FEXIPRO, Netflix f=50 and "
+              "R2 f=50 ==\n");
+  for (const char* id : {"netflix-nomad-50", "r2-nomad-50"}) {
+    auto preset = FindModelPreset(id);
+    preset.status().CheckOK();
+    const MFModel model = MakeBenchModel(*preset, config);
+    std::printf("\n-- %s (%d users x %d items, f=%d) --\n",
+                preset->display_name.c_str(), model.num_users(),
+                model.num_items(), model.num_factors());
+    TablePrinter table({"K", "Blocked MM", "LEMP", "FEXIPRO-SI",
+                        "LEMP/BMM", "FEXIPRO/BMM"});
+    for (const Index k : ks) {
+      auto bmm = MakeSolver("bmm");
+      auto lemp = MakeSolver("lemp");
+      auto fexipro = MakeSolver("fexipro-si");
+      const double t_bmm = TimeEndToEnd(bmm.get(), model, k).total();
+      const double t_lemp = TimeEndToEnd(lemp.get(), model, k).total();
+      const double t_fex = TimeEndToEnd(fexipro.get(), model, k).total();
+      table.AddRow({FmtInt(k), FormatSeconds(t_bmm), FormatSeconds(t_lemp),
+                    FormatSeconds(t_fex), Fmt(t_lemp / t_bmm, 2) + "x",
+                    Fmt(t_fex / t_bmm, 2) + "x"});
+    }
+    table.Print();
+  }
+  std::printf(
+      "\nPaper shape: Netflix -> BMM fastest (LEMP/FEXIPRO 1.9-3.1x "
+      "slower); R2 -> LEMP/FEXIPRO 2-3.5x faster than BMM.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Figure 7: OPTIMUS runtime estimates vs user-sample ratio.
+//
+// On KDD-REF (f=51), K=1: for every method (LEMP, FEXIPRO-SI/SIR,
+// MAXIMUS, Blocked MM) estimate the total serving runtime by measuring a
+// random user sample and extrapolating, at sample ratios from 0.01% to 1%
+// (4 runs each, reporting mean +/- stddev), next to the true measured
+// runtime.  The paper's findings to reproduce: estimates are robust and
+// low-variance for MAXIMUS/BMM/FEXIPRO even below 1%, while LEMP's
+// estimates have much higher variance because its per-bucket algorithm
+// adaptation re-runs per sample.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "stats/sampling.h"
+#include "stats/welford.h"
+
+using namespace mips;
+using namespace mips::bench;
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  BenchConfig config;
+  config.scale = 5.0;  // fig7 needs a user-rich instance; see below
+  int32_t runs = 4;
+  flags.Int32("runs", &runs, "estimate repetitions per sample ratio");
+  ParseBenchFlags(argc, argv, &flags, &config);
+
+  auto preset = FindModelPreset("kdd-ref-51");
+  preset.status().CheckOK();
+  const MFModel model = MakeBenchModel(*preset, config);
+  const Index n = model.num_users();
+  std::printf("== Figure 7: OPTIMUS runtime estimates on %s "
+              "(%d users x %d items), K=1 ==\n",
+              preset->display_name.c_str(), n, model.num_items());
+
+  // The paper sweeps sample *ratios* of the full-scale KDD user count
+  // (1,000,990 users): 0.01% .. 1% = 100 .. 10,000 sampled users.  At
+  // bench scale a raw ratio would mean a 1-user sample, which measures
+  // nothing; we therefore sweep the paper's *absolute* sample sizes
+  // (ratio x full-scale |U|), capped at half the instance.
+  const std::vector<double> ratios = {0.0001, 0.0005, 0.001, 0.005, 0.01};
+  const double full_users = static_cast<double>(preset->full_users);
+  std::printf("(sample sizes = ratio x full-scale |U| = ratio x %.0f)\n\n",
+              full_users);
+  TablePrinter table({"Method", "true time", "sample % (of full |U|)",
+                      "sampled users", "estimate mean", "estimate stddev",
+                      "rel. error"});
+  for (const char* name :
+       {"lemp", "fexipro-si", "fexipro-sir", "maximus", "bmm"}) {
+    auto truth_solver = MakeSolver(name);
+    truth_solver
+        ->Prepare(ConstRowBlock(model.users), ConstRowBlock(model.items))
+        .CheckOK();
+    WallTimer timer;
+    TopKResult result;
+    truth_solver->TopKAll(1, &result).CheckOK();
+    const double true_time = timer.Seconds();
+
+    for (const double ratio : ratios) {
+      Welford estimates;
+      const Index count = std::min<Index>(
+          n / 2, std::max<Index>(1, static_cast<Index>(
+                                        std::llround(ratio * full_users))));
+      for (int run = 0; run < runs; ++run) {
+        Rng rng(1000 + static_cast<uint64_t>(run) * 7919 +
+                static_cast<uint64_t>(ratio * 1e7));
+        const auto sample = SampleWithoutReplacement(n, count, &rng);
+        // Fresh solver per run, exactly as OPTIMUS measures: adaptive
+        // indexes (LEMP) re-calibrate on each sample, which is the source
+        // of their estimate variance in the paper.
+        auto solver = MakeSolver(name);
+        solver->Prepare(ConstRowBlock(model.users),
+                        ConstRowBlock(model.items))
+            .CheckOK();
+        WallTimer sample_timer;
+        TopKResult sample_result;
+        solver->TopKForUsers(1, sample, &sample_result).CheckOK();
+        const double per_user =
+            sample_timer.Seconds() / static_cast<double>(sample.size());
+        estimates.Add(per_user * n);
+      }
+      table.AddRow({name, FormatSeconds(true_time),
+                    Fmt(ratio * 100.0, 2) + " %", FmtInt(count),
+                    FormatSeconds(estimates.mean()),
+                    FormatSeconds(estimates.stddev()),
+                    Fmt(100.0 * std::abs(estimates.mean() - true_time) /
+                            true_time,
+                        1) +
+                        " %"});
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: estimates converge to the truth by a <1%% sample; "
+      "LEMP shows markedly higher estimate variance than MAXIMUS / BMM / "
+      "FEXIPRO (its per-bucket retrieval adaptation depends on the "
+      "sample); tiny BMM samples under-utilize the blocked kernel and "
+      "mis-estimate until the sample fills the L2 cache.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+// Figure 8: runtime breakdown of MAXIMUS (K=1) with and without item
+// blocking, on Netflix-NOMAD f=50 and R2-NOMAD f=50.
+//
+// Stages: clustering, index construction, cost estimation (an
+// OPTIMUS-style sample measurement, as in the paper's pipeline), and
+// index traversal.  The lesion: disabling the shared first-B GEMM slows
+// traversal (paper: item blocking is worth 2.4x on Netflix and 1.4x on
+// R2, larger where w-bar is larger).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/maximus.h"
+#include "stats/sampling.h"
+
+using namespace mips;
+using namespace mips::bench;
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  BenchConfig config;
+  ParseBenchFlags(argc, argv, &flags, &config);
+
+  std::printf("== Figure 8: MAXIMUS runtime breakdown, K=1, with vs "
+              "without item blocking ==\n");
+  std::printf(
+      "(three blocking configurations: none; auto B=|I|/8; the paper's "
+      "B=4096, which at bench scale covers the whole catalog)\n");
+  TablePrinter table({"Model", "Item blocking", "Clustering",
+                      "Construction", "Cost estimation", "Traversal",
+                      "Total", "w-bar"});
+  struct BlockConfig {
+    const char* label;
+    Index block_size;
+  };
+  const BlockConfig block_configs[] = {
+      {"without", 0}, {"auto (|I|/8)", -1}, {"B=4096 (paper)", 4096}};
+  for (const char* id : {"netflix-nomad-50", "r2-nomad-50"}) {
+    auto preset = FindModelPreset(id);
+    preset.status().CheckOK();
+    const MFModel model = MakeBenchModel(*preset, config);
+    double traversal_without_blocking = 0;
+    for (const BlockConfig& bc : block_configs) {
+      MaximusOptions options;
+      options.block_size = bc.block_size;
+      MaximusSolver maximus(options);
+      maximus.Prepare(ConstRowBlock(model.users), ConstRowBlock(model.items))
+          .CheckOK();
+
+      // Cost estimation stage: OPTIMUS's sample measurement.
+      Rng rng(99);
+      const Index sample_size = OptimizerSampleSize(
+          model.num_users(), 0.005, model.num_factors(),
+          kDefaultL2CacheBytes);
+      const auto sample =
+          SampleWithoutReplacement(model.num_users(), sample_size, &rng);
+      WallTimer est_timer;
+      TopKResult sample_result;
+      maximus.TopKForUsers(1, sample, &sample_result).CheckOK();
+      const double cost_estimation = est_timer.Seconds();
+
+      maximus.mutable_stage_timer()->Add("traversal", 0);  // reset baseline
+      const double traversal_before =
+          maximus.stage_timer().Get("traversal");
+      TopKResult result;
+      maximus.TopKAll(1, &result).CheckOK();
+      const double traversal =
+          maximus.stage_timer().Get("traversal") - traversal_before;
+      const double clustering = maximus.stage_timer().Get("clustering");
+      const double construction = maximus.stage_timer().Get("construction");
+      const double total =
+          clustering + construction + cost_estimation + traversal;
+      if (bc.block_size == 0) traversal_without_blocking = traversal;
+      table.AddRow({preset->id, bc.label, FormatSeconds(clustering),
+                    FormatSeconds(construction),
+                    FormatSeconds(cost_estimation),
+                    FormatSeconds(traversal), FormatSeconds(total),
+                    Fmt(maximus.mean_items_visited(), 1)});
+      if (bc.block_size != 0 && traversal_without_blocking > 0) {
+        std::printf("  %s [%s]: item blocking speeds traversal %.2fx\n",
+                    preset->id.c_str(), bc.label,
+                    traversal_without_blocking / traversal);
+      }
+    }
+  }
+  table.Print();
+  std::printf(
+      "\nPaper shape: clustering + construction + cost estimation are a "
+      "small overhead (~1.8%%) next to traversal; item blocking is worth "
+      "2.4x (Netflix) and 1.4x (R2) on traversal, larger where w-bar is "
+      "larger.\n");
+  return 0;
+}

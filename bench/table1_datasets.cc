@@ -1,0 +1,48 @@
+// Table I: datasets for evaluation.
+//
+// Prints the paper's full-scale dataset statistics alongside the scaled
+// dimensions each bench binary actually runs, plus the generated item-norm
+// statistics that place every preset in its solver-preference regime
+// (flat norms -> BMM-friendly; skewed norms -> index-friendly).
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "data/synthetic.h"
+
+using namespace mips;
+using namespace mips::bench;
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  BenchConfig config;
+  ParseBenchFlags(argc, argv, &flags, &config);
+
+  std::printf("== Table I: datasets for evaluation (paper full scale) ==\n");
+  TablePrinter table({"Dataset", "# users", "# items", "# ratings"});
+  for (const auto& info : AllDatasetInfos()) {
+    table.AddRow({info.name, FmtInt(info.num_users), FmtInt(info.num_items),
+                  info.num_ratings > 0 ? FmtInt(info.num_ratings) : "-"});
+  }
+  table.Print();
+
+  std::printf(
+      "\n== Scaled bench instances (scale multiplier %.3g) and generated "
+      "norm statistics ==\n",
+      config.scale);
+  TablePrinter scaled({"Preset", "users", "items", "f", "item norm CV",
+                       "max/min norm"});
+  for (const auto& preset : SelectPresets(config)) {
+    const MFModel model = MakeBenchModel(preset, config);
+    const VectorSetStats stats =
+        ComputeVectorSetStats(ConstRowBlock(model.items));
+    scaled.AddRow({preset.id, FmtInt(model.num_users()),
+                   FmtInt(model.num_items()), FmtInt(model.num_factors()),
+                   Fmt(stats.norm_cv, 3),
+                   Fmt(stats.min_norm > 0 ? stats.max_norm / stats.min_norm
+                                          : 0.0,
+                       1)});
+  }
+  scaled.Print();
+  return 0;
+}

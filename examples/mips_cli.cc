@@ -1,0 +1,158 @@
+// mips_cli: command-line exact MIPS over matrix files.
+//
+// Load user/item factor matrices (MIPSMAT1 binary or CSV), run any solver
+// or the OPTIMUS optimizer, and write the top-K results as CSV
+// (user_id,rank,item_id,score).  The on-ramp for using this library
+// without writing C++:
+//
+//   # generate a demo model first (or bring your own matrices)
+//   ./build/examples/mips_cli --demo=r2-nomad-50
+//       --users_out=/tmp/u.bin --items_out=/tmp/i.bin
+//   # serve top-10 with the optimizer and inspect the decision
+//   ./build/examples/mips_cli --users=/tmp/u.bin --items=/tmp/i.bin
+//       --solver=optimus --k=10 --out=/tmp/topk.csv
+//
+// --solver accepts: optimus (default; BMM vs MAXIMUS vs LEMP three-way),
+// or any registry solver: bmm, naive, lemp, fexipro-si, fexipro-sir,
+// maximus.
+
+#include <cstdio>
+#include <string>
+
+#include "common/flags.h"
+#include "common/timer.h"
+#include "core/maximus.h"
+#include "core/optimus.h"
+#include "core/registry.h"
+#include "data/datasets.h"
+#include "data/io.h"
+#include "solvers/bmm.h"
+#include "solvers/lemp/lemp.h"
+
+using namespace mips;
+
+namespace {
+
+StatusOr<Matrix> LoadAny(const std::string& path) {
+  if (path.size() > 4 && path.substr(path.size() - 4) == ".csv") {
+    return LoadMatrixCsv(path);
+  }
+  return LoadMatrixBinary(path);
+}
+
+Status WriteTopKCsv(const TopKResult& result, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open for write: " + path);
+  std::fprintf(f, "user_id,rank,item_id,score\n");
+  for (Index q = 0; q < result.num_queries(); ++q) {
+    for (Index e = 0; e < result.k(); ++e) {
+      const TopKEntry& entry = result.Row(q)[e];
+      if (entry.item < 0) continue;  // k exceeded the item count
+      std::fprintf(f, "%d,%d,%d,%.17g\n", q, e + 1, entry.item, entry.score);
+    }
+  }
+  return std::fclose(f) == 0 ? Status::OK()
+                             : Status::IOError("close failed: " + path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  std::string users_path;
+  std::string items_path;
+  std::string out_path = "/tmp/topk.csv";
+  std::string solver_name = "optimus";
+  std::string demo;
+  std::string users_out = "/tmp/mips_users.bin";
+  std::string items_out = "/tmp/mips_items.bin";
+  int32_t k = 10;
+  double demo_scale = 1.0;
+  flags.String("users", &users_path, "user factor matrix (.bin or .csv)");
+  flags.String("items", &items_path, "item factor matrix (.bin or .csv)");
+  flags.String("out", &out_path, "output CSV path");
+  flags.String("solver", &solver_name,
+               "optimus | bmm | naive | lemp | fexipro-si | fexipro-sir | "
+               "maximus");
+  flags.Int32("k", &k, "top-K size");
+  flags.String("demo", &demo,
+               "generate a preset model instead of serving (preset id, "
+               "e.g. netflix-nomad-50)");
+  flags.Double("demo_scale", &demo_scale, "scale multiplier for --demo");
+  flags.String("users_out", &users_out, "--demo: where to write users");
+  flags.String("items_out", &items_out, "--demo: where to write items");
+  flags.Parse(argc, argv).CheckOK();
+
+  // --- Demo-generation mode. ---
+  if (!demo.empty()) {
+    auto preset = FindModelPreset(demo);
+    if (!preset.ok()) {
+      std::fprintf(stderr, "%s\navailable presets:\n",
+                   preset.status().ToString().c_str());
+      for (const auto& p : AllModelPresets()) {
+        std::fprintf(stderr, "  %s\n", p.id.c_str());
+      }
+      return 2;
+    }
+    auto model = MakeModel(*preset, demo_scale);
+    model.status().CheckOK();
+    SaveMatrixBinary(model->users, users_out).CheckOK();
+    SaveMatrixBinary(model->items, items_out).CheckOK();
+    std::printf("wrote %s (%d x %d) and %s (%d x %d)\n", users_out.c_str(),
+                model->num_users(), model->num_factors(), items_out.c_str(),
+                model->num_items(), model->num_factors());
+    return 0;
+  }
+
+  // --- Serving mode. ---
+  if (users_path.empty() || items_path.empty()) {
+    std::fprintf(stderr, "need --users and --items (or --demo)\n%s",
+                 flags.Usage().c_str());
+    return 2;
+  }
+  auto users = LoadAny(users_path);
+  users.status().CheckOK();
+  auto items = LoadAny(items_path);
+  items.status().CheckOK();
+  if (users->cols() != items->cols()) {
+    std::fprintf(stderr, "factor dimensions differ: %d vs %d\n",
+                 users->cols(), items->cols());
+    return 2;
+  }
+  std::printf("model: %d users x %d items, f=%d; k=%d\n", users->rows(),
+              items->rows(), users->cols(), k);
+
+  TopKResult result;
+  WallTimer timer;
+  if (solver_name == "optimus") {
+    BmmSolver bmm;
+    MaximusSolver maximus;
+    LempSolver lemp;
+    Optimus optimus;
+    OptimusReport report;
+    optimus
+        .Run(ConstRowBlock(*users), ConstRowBlock(*items), k,
+             {&bmm, &maximus, &lemp}, &result, &report)
+        .CheckOK();
+    std::printf("OPTIMUS chose %s; estimates:", report.chosen.c_str());
+    for (const auto& est : report.estimates) {
+      std::printf(" %s=%.3fs", est.name.c_str(), est.est_total_seconds);
+    }
+    std::printf("\n");
+  } else {
+    auto solver = CreateSolver(solver_name);
+    if (!solver.ok()) {
+      std::fprintf(stderr, "%s\n", solver.status().ToString().c_str());
+      return 2;
+    }
+    (*solver)->Prepare(ConstRowBlock(*users), ConstRowBlock(*items))
+        .CheckOK();
+    (*solver)->TopKAll(k, &result).CheckOK();
+  }
+  const double elapsed = timer.Seconds();
+  WriteTopKCsv(result, out_path).CheckOK();
+  std::printf("served %d users in %.3f s (%.1f us/user); results -> %s\n",
+              result.num_queries(), elapsed,
+              elapsed / result.num_queries() * 1e6, out_path.c_str());
+  return 0;
+}

@@ -1,0 +1,213 @@
+#include "cluster/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "linalg/gemm.h"
+
+namespace mips {
+namespace {
+
+// Squared Euclidean distance between two f-vectors.
+Real SquaredDistance(const Real* a, const Real* b, Index f) {
+  Real acc = 0;
+  for (Index i = 0; i < f; ++i) {
+    const Real d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+// k-means++ D^2 seeding: first center uniform, then each next center drawn
+// with probability proportional to squared distance to the closest chosen
+// center.
+void PlusPlusInit(const ConstRowBlock& points, Index k, Rng* rng,
+                  Matrix* centroids) {
+  const Index n = points.rows();
+  const Index f = points.cols();
+  centroids->Resize(k, f);
+
+  std::vector<Real> min_dist2(static_cast<std::size_t>(n),
+                              std::numeric_limits<Real>::max());
+  Index first = static_cast<Index>(rng->UniformInt(static_cast<uint64_t>(n)));
+  std::copy_n(points.Row(first), f, centroids->Row(0));
+
+  for (Index c = 1; c < k; ++c) {
+    const Real* last = centroids->Row(c - 1);
+    Real total = 0;
+    for (Index i = 0; i < n; ++i) {
+      const Real d2 = SquaredDistance(points.Row(i), last, f);
+      auto& slot = min_dist2[static_cast<std::size_t>(i)];
+      slot = std::min(slot, d2);
+      total += slot;
+    }
+    Index chosen = n - 1;
+    if (total > 0) {
+      Real target = static_cast<Real>(rng->Uniform()) * total;
+      for (Index i = 0; i < n; ++i) {
+        target -= min_dist2[static_cast<std::size_t>(i)];
+        if (target <= 0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      // All points coincide with chosen centers; any point works.
+      chosen = static_cast<Index>(rng->UniformInt(static_cast<uint64_t>(n)));
+    }
+    std::copy_n(points.Row(chosen), f, centroids->Row(c));
+  }
+}
+
+void UniformInit(const ConstRowBlock& points, Index k, Rng* rng,
+                 Matrix* centroids) {
+  const Index n = points.rows();
+  const Index f = points.cols();
+  centroids->Resize(k, f);
+  // Reservoir-free distinct draw: k <= n is guaranteed by the caller.
+  std::vector<Index> perm(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  for (Index i = 0; i < k; ++i) {
+    const Index j = i + static_cast<Index>(rng->UniformInt(
+                            static_cast<uint64_t>(n - i)));
+    std::swap(perm[static_cast<std::size_t>(i)], perm[static_cast<std::size_t>(j)]);
+    std::copy_n(points.Row(perm[static_cast<std::size_t>(i)]), f,
+                centroids->Row(i));
+  }
+}
+
+}  // namespace
+
+void AssignAllToNearest(const ConstRowBlock& points, const Matrix& centroids,
+                        std::vector<Index>* assignment) {
+  const Index n = points.rows();
+  const Index k = centroids.rows();
+  const Index f = points.cols();
+  assignment->assign(static_cast<std::size_t>(n), 0);
+  if (n == 0 || k == 0) return;
+
+  // argmin_c ||u - c||^2 = argmin_c (||c||^2 - 2 u.c); ||u||^2 is constant
+  // per row.  One GEMM gives all u.c products.
+  std::vector<Real> c_norm2(static_cast<std::size_t>(k));
+  for (Index c = 0; c < k; ++c) {
+    c_norm2[static_cast<std::size_t>(c)] = Nrm2Squared(centroids.Row(c), f);
+  }
+
+  constexpr Index kBatch = 1024;
+  Matrix scores;
+  for (Index begin = 0; begin < n; begin += kBatch) {
+    const Index b = std::min(kBatch, n - begin);
+    GemmNT(ConstRowBlock(points.Row(begin), b, f), ConstRowBlock(centroids),
+           &scores);
+    for (Index r = 0; r < b; ++r) {
+      const Real* srow = scores.Row(r);
+      Index best = 0;
+      Real best_val = c_norm2[0] - 2 * srow[0];
+      for (Index c = 1; c < k; ++c) {
+        const Real val = c_norm2[static_cast<std::size_t>(c)] - 2 * srow[c];
+        if (val < best_val) {
+          best_val = val;
+          best = c;
+        }
+      }
+      (*assignment)[static_cast<std::size_t>(begin + r)] = best;
+    }
+  }
+}
+
+Index AssignToNearest(const Real* point, const Matrix& centroids) {
+  const Index k = centroids.rows();
+  const Index f = centroids.cols();
+  Index best = 0;
+  Real best_d2 = std::numeric_limits<Real>::max();
+  for (Index c = 0; c < k; ++c) {
+    const Real d2 = SquaredDistance(point, centroids.Row(c), f);
+    if (d2 < best_d2) {
+      best_d2 = d2;
+      best = c;
+    }
+  }
+  return best;
+}
+
+std::vector<std::vector<Index>> MembersFromAssignment(
+    const std::vector<Index>& assignment, Index num_clusters) {
+  std::vector<std::vector<Index>> members(
+      static_cast<std::size_t>(num_clusters));
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    members[static_cast<std::size_t>(assignment[i])].push_back(
+        static_cast<Index>(i));
+  }
+  return members;
+}
+
+Status KMeans(const ConstRowBlock& points, const KMeansOptions& options,
+              Clustering* out) {
+  const Index n = points.rows();
+  const Index f = points.cols();
+  if (n <= 0 || f <= 0) {
+    return Status::InvalidArgument("k-means needs a non-empty point set");
+  }
+  if (options.num_clusters <= 0) {
+    return Status::InvalidArgument("num_clusters must be positive");
+  }
+  const Index k = std::min<Index>(options.num_clusters, n);
+  Rng rng(options.seed);
+
+  if (options.plus_plus_init) {
+    PlusPlusInit(points, k, &rng, &out->centroids);
+  } else {
+    UniformInit(points, k, &rng, &out->centroids);
+  }
+
+  out->iterations = 0;
+  for (int iter = 0; iter < std::max(1, options.max_iterations); ++iter) {
+    AssignAllToNearest(points, out->centroids, &out->assignment);
+
+    // Update step: mean of members.
+    std::vector<Index> counts(static_cast<std::size_t>(k), 0);
+    out->centroids.Fill(0);
+    for (Index i = 0; i < n; ++i) {
+      const Index c = out->assignment[static_cast<std::size_t>(i)];
+      ++counts[static_cast<std::size_t>(c)];
+      Axpy(1.0, points.Row(i), out->centroids.Row(c), f);
+    }
+    for (Index c = 0; c < k; ++c) {
+      const Index count = counts[static_cast<std::size_t>(c)];
+      if (count > 0) {
+        Scale(Real{1} / static_cast<Real>(count), out->centroids.Row(c), f);
+      } else {
+        // Empty cluster: reseed to the point farthest from its centroid so
+        // the cluster captures the worst-approximated region.
+        Index farthest = 0;
+        Real far_d2 = -1;
+        for (Index i = 0; i < n; ++i) {
+          const Index a = out->assignment[static_cast<std::size_t>(i)];
+          const Real d2 =
+              SquaredDistance(points.Row(i), out->centroids.Row(a), f);
+          if (d2 > far_d2) {
+            far_d2 = d2;
+            farthest = i;
+          }
+        }
+        std::copy_n(points.Row(farthest), f, out->centroids.Row(c));
+      }
+    }
+    ++out->iterations;
+  }
+
+  // Final assignment against the updated centroids, plus inertia.
+  AssignAllToNearest(points, out->centroids, &out->assignment);
+  out->inertia = 0;
+  for (Index i = 0; i < n; ++i) {
+    const Index c = out->assignment[static_cast<std::size_t>(i)];
+    out->inertia += SquaredDistance(points.Row(i), out->centroids.Row(c), f);
+  }
+  out->members = MembersFromAssignment(out->assignment, k);
+  return Status::OK();
+}
+
+}  // namespace mips

@@ -1,0 +1,134 @@
+#include "cluster/spherical.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+#include "linalg/gemm.h"
+
+namespace mips {
+namespace {
+
+// Normalizes every row to unit length in place; zero rows are left as-is.
+void NormalizeRows(Matrix* m) {
+  for (Index r = 0; r < m->rows(); ++r) {
+    const Real norm = Nrm2(m->Row(r), m->cols());
+    if (norm > 0) Scale(Real{1} / norm, m->Row(r), m->cols());
+  }
+}
+
+// Assignment by maximum dot product against unit-norm centroids, which for
+// unit centroids equals maximum cosine similarity.
+void AssignByCosine(const ConstRowBlock& points, const Matrix& centroids,
+                    std::vector<Index>* assignment) {
+  const Index n = points.rows();
+  const Index k = centroids.rows();
+  assignment->assign(static_cast<std::size_t>(n), 0);
+  constexpr Index kBatch = 1024;
+  Matrix scores;
+  for (Index begin = 0; begin < n; begin += kBatch) {
+    const Index b = std::min(kBatch, n - begin);
+    GemmNT(ConstRowBlock(points.Row(begin), b, points.cols()),
+           ConstRowBlock(centroids), &scores);
+    for (Index r = 0; r < b; ++r) {
+      const Real* srow = scores.Row(r);
+      Index best = 0;
+      Real best_val = srow[0];
+      for (Index c = 1; c < k; ++c) {
+        if (srow[c] > best_val) {
+          best_val = srow[c];
+          best = c;
+        }
+      }
+      (*assignment)[static_cast<std::size_t>(begin + r)] = best;
+    }
+  }
+}
+
+}  // namespace
+
+Status SphericalKMeans(const ConstRowBlock& points,
+                       const KMeansOptions& options, Clustering* out) {
+  const Index n = points.rows();
+  const Index f = points.cols();
+  if (n <= 0 || f <= 0) {
+    return Status::InvalidArgument(
+        "spherical k-means needs a non-empty point set");
+  }
+  if (options.num_clusters <= 0) {
+    return Status::InvalidArgument("num_clusters must be positive");
+  }
+  const Index k = std::min<Index>(options.num_clusters, n);
+  Rng rng(options.seed);
+
+  // Seed with k distinct input rows, normalized.
+  out->centroids.Resize(k, f);
+  std::vector<Index> perm(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) perm[static_cast<std::size_t>(i)] = i;
+  for (Index i = 0; i < k; ++i) {
+    const Index j = i + static_cast<Index>(
+                            rng.UniformInt(static_cast<uint64_t>(n - i)));
+    std::swap(perm[static_cast<std::size_t>(i)],
+              perm[static_cast<std::size_t>(j)]);
+    std::copy_n(points.Row(perm[static_cast<std::size_t>(i)]), f,
+                out->centroids.Row(i));
+  }
+  NormalizeRows(&out->centroids);
+
+  out->iterations = 0;
+  for (int iter = 0; iter < std::max(1, options.max_iterations); ++iter) {
+    AssignByCosine(points, out->centroids, &out->assignment);
+
+    std::vector<Index> counts(static_cast<std::size_t>(k), 0);
+    out->centroids.Fill(0);
+    for (Index i = 0; i < n; ++i) {
+      const Index c = out->assignment[static_cast<std::size_t>(i)];
+      ++counts[static_cast<std::size_t>(c)];
+      Axpy(1.0, points.Row(i), out->centroids.Row(c), f);
+    }
+    for (Index c = 0; c < k; ++c) {
+      if (counts[static_cast<std::size_t>(c)] == 0) {
+        // Empty cluster: reseed to a random point.
+        const Index pick = static_cast<Index>(
+            rng.UniformInt(static_cast<uint64_t>(n)));
+        std::copy_n(points.Row(pick), f, out->centroids.Row(c));
+      }
+    }
+    // Project onto the unit sphere (the "spherical" step).
+    NormalizeRows(&out->centroids);
+    ++out->iterations;
+  }
+
+  AssignByCosine(points, out->centroids, &out->assignment);
+  out->inertia = 0;
+  for (Index i = 0; i < n; ++i) {
+    const Index c = out->assignment[static_cast<std::size_t>(i)];
+    out->inertia += Real{1} - CosineSimilarity(points.Row(i),
+                                               out->centroids.Row(c), f);
+  }
+  out->members = MembersFromAssignment(out->assignment, k);
+  return Status::OK();
+}
+
+AngularQuality MeasureAngularQuality(const ConstRowBlock& points,
+                                     const Clustering& clustering) {
+  AngularQuality q;
+  const Index n = points.rows();
+  if (n == 0) return q;
+  Real sum = 0;
+  for (Index i = 0; i < n; ++i) {
+    const Index c = clustering.assignment[static_cast<std::size_t>(i)];
+    const Real cos = CosineSimilarity(points.Row(i),
+                                      clustering.centroids.Row(c),
+                                      points.cols());
+    const Real angle = std::acos(cos);
+    sum += angle;
+    q.max_angle = std::max(q.max_angle, angle);
+  }
+  q.mean_angle = sum / static_cast<Real>(n);
+  return q;
+}
+
+}  // namespace mips

@@ -1,0 +1,136 @@
+#include "common/flags.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace mips {
+namespace {
+
+std::string ToString(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%g", v);
+  return buf;
+}
+
+}  // namespace
+
+void FlagSet::Double(const std::string& name, double* target,
+                     std::string help) {
+  flags_.push_back(
+      {name, Kind::kDouble, target, std::move(help), ToString(*target)});
+}
+
+void FlagSet::Int64(const std::string& name, int64_t* target,
+                    std::string help) {
+  flags_.push_back({name, Kind::kInt64, target, std::move(help),
+                    std::to_string(*target)});
+}
+
+void FlagSet::Int32(const std::string& name, int32_t* target,
+                    std::string help) {
+  flags_.push_back({name, Kind::kInt32, target, std::move(help),
+                    std::to_string(*target)});
+}
+
+void FlagSet::Bool(const std::string& name, bool* target, std::string help) {
+  flags_.push_back({name, Kind::kBool, target, std::move(help),
+                    *target ? "true" : "false"});
+}
+
+void FlagSet::String(const std::string& name, std::string* target,
+                     std::string help) {
+  flags_.push_back({name, Kind::kString, target, std::move(help), *target});
+}
+
+Status FlagSet::Assign(Flag& flag, const std::string& value) {
+  try {
+    switch (flag.kind) {
+      case Kind::kDouble:
+        *static_cast<double*>(flag.target) = std::stod(value);
+        break;
+      case Kind::kInt64:
+        *static_cast<int64_t*>(flag.target) = std::stoll(value);
+        break;
+      case Kind::kInt32:
+        *static_cast<int32_t*>(flag.target) =
+            static_cast<int32_t>(std::stol(value));
+        break;
+      case Kind::kBool:
+        if (value == "true" || value == "1") {
+          *static_cast<bool*>(flag.target) = true;
+        } else if (value == "false" || value == "0") {
+          *static_cast<bool*>(flag.target) = false;
+        } else {
+          return Status::InvalidArgument("bad bool for --" + flag.name + ": " +
+                                         value);
+        }
+        break;
+      case Kind::kString:
+        *static_cast<std::string*>(flag.target) = value;
+        break;
+    }
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("bad value for --" + flag.name + ": " +
+                                   value);
+  }
+  return Status::OK();
+}
+
+Status FlagSet::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::printf("%s", Usage().c_str());
+      std::exit(0);
+    }
+    if (arg.rfind("--", 0) != 0) {
+      return Status::InvalidArgument("unexpected positional argument: " + arg);
+    }
+    arg = arg.substr(2);
+    std::string name;
+    std::string value;
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      name = arg;
+      value.clear();
+    }
+
+    Flag* match = nullptr;
+    for (auto& flag : flags_) {
+      if (flag.name == name) {
+        match = &flag;
+        break;
+      }
+    }
+    if (match == nullptr) {
+      return Status::InvalidArgument("unknown flag: --" + name + "\n" +
+                                     Usage());
+    }
+    if (eq == std::string::npos) {
+      if (match->kind == Kind::kBool) {
+        value = "true";  // `--verbose` with no value means true.
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      } else {
+        return Status::InvalidArgument("missing value for --" + name);
+      }
+    }
+    MIPS_RETURN_IF_ERROR(Assign(*match, value));
+  }
+  return Status::OK();
+}
+
+std::string FlagSet::Usage() const {
+  std::string out = "flags:\n";
+  for (const auto& flag : flags_) {
+    out += "  --" + flag.name + "  (" + flag.help +
+           ") [default: " + flag.default_value + "]\n";
+  }
+  return out;
+}
+
+}  // namespace mips

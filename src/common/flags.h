@@ -1,0 +1,57 @@
+// Minimal command-line flag parsing for the bench and example binaries.
+//
+// Syntax: --name=value or --name value; "--help" prints registered flags.
+// This is intentionally tiny — benches need only a handful of numeric knobs
+// (--scale, --users, --k, --seed, ...).
+
+#ifndef MIPS_COMMON_FLAGS_H_
+#define MIPS_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mips {
+
+/// Registers flags against local variables, then parses argv into them.
+///
+/// Example:
+///   FlagSet flags;
+///   double scale = 0.02;
+///   flags.Double("scale", &scale, "dataset scale factor");
+///   flags.Parse(argc, argv).CheckOK();
+class FlagSet {
+ public:
+  void Double(const std::string& name, double* target, std::string help);
+  void Int64(const std::string& name, int64_t* target, std::string help);
+  void Int32(const std::string& name, int32_t* target, std::string help);
+  void Bool(const std::string& name, bool* target, std::string help);
+  void String(const std::string& name, std::string* target, std::string help);
+
+  /// Parses argv.  Unknown flags produce InvalidArgument.  If --help is
+  /// present, prints usage and exits(0).
+  Status Parse(int argc, char** argv);
+
+  /// One line per registered flag: "--name (help) [default: ...]".
+  std::string Usage() const;
+
+ private:
+  enum class Kind { kDouble, kInt64, kInt32, kBool, kString };
+  struct Flag {
+    std::string name;
+    Kind kind;
+    void* target;
+    std::string help;
+    std::string default_value;
+  };
+
+  Status Assign(Flag& flag, const std::string& value);
+
+  std::vector<Flag> flags_;
+};
+
+}  // namespace mips
+
+#endif  // MIPS_COMMON_FLAGS_H_

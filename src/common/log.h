@@ -1,0 +1,46 @@
+// Tiny leveled logging to stderr.  Benches and examples use INFO; library
+// code logs only unusual situations (e.g. k-means empty-cluster reseeds) at
+// DEBUG so default output stays quiet.
+
+#ifndef MIPS_COMMON_LOG_H_
+#define MIPS_COMMON_LOG_H_
+
+#include <sstream>
+#include <string>
+
+namespace mips {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Messages below this level are dropped.  Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define MIPS_LOG(level)                                             \
+  ::mips::internal::LogMessage(::mips::LogLevel::k##level, __FILE__, \
+                               __LINE__)
+
+}  // namespace mips
+
+#endif  // MIPS_COMMON_LOG_H_

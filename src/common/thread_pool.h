@@ -1,0 +1,92 @@
+// Fixed-size thread pool with a deterministic ParallelFor.
+//
+// The multi-core experiments in the paper (Figure 6) parallelize MIPS by
+// statically partitioning the user set across cores ("a simple partitioning
+// scheme across users proves to be an effective parallelization strategy").
+// ParallelFor implements exactly that: the [0, n) range is split into
+// `threads` contiguous chunks, one per worker, so work placement is
+// reproducible and per-thread ranges can be reported for balance analysis.
+
+#ifndef MIPS_COMMON_THREAD_POOL_H_
+#define MIPS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace mips {
+
+/// A minimal fixed-size worker pool.  Tasks are std::function<void()>;
+/// Wait() blocks until every submitted task has finished.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (at least 1).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void Wait();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mu_;
+  std::condition_variable work_available_;
+  std::condition_variable all_idle_;
+  int in_flight_ = 0;
+  bool shutting_down_ = false;
+};
+
+/// Contiguous half-open chunk of a parallel iteration space.
+struct RangeChunk {
+  int64_t begin = 0;
+  int64_t end = 0;
+};
+
+/// Splits [0, n) into exactly `parts` near-equal contiguous chunks (the
+/// first n % parts chunks are one element longer).  Chunks may be empty
+/// when parts > n.
+std::vector<RangeChunk> SplitRange(int64_t n, int parts);
+
+/// Runs fn(begin, end, chunk_index) over a static partition of [0, n) using
+/// `pool` (or inline when pool is null / has one thread).  Blocks until all
+/// chunks complete.
+template <typename Fn>
+void ParallelFor(ThreadPool* pool, int64_t n, Fn&& fn) {
+  const int parts = (pool == nullptr) ? 1 : pool->num_threads();
+  const std::vector<RangeChunk> chunks = SplitRange(n, parts);
+  if (parts <= 1) {
+    for (std::size_t c = 0; c < chunks.size(); ++c) {
+      if (chunks[c].begin < chunks[c].end) {
+        fn(chunks[c].begin, chunks[c].end, static_cast<int>(c));
+      }
+    }
+    return;
+  }
+  for (std::size_t c = 0; c < chunks.size(); ++c) {
+    if (chunks[c].begin >= chunks[c].end) continue;
+    const RangeChunk chunk = chunks[c];
+    pool->Submit([&fn, chunk, c]() {
+      fn(chunk.begin, chunk.end, static_cast<int>(c));
+    });
+  }
+  pool->Wait();
+}
+
+}  // namespace mips
+
+#endif  // MIPS_COMMON_THREAD_POOL_H_

@@ -1,0 +1,28 @@
+#include "common/timer.h"
+
+namespace mips {
+
+void StageTimer::Add(const std::string& name, double seconds) {
+  for (auto& [stage, total] : stages_) {
+    if (stage == name) {
+      total += seconds;
+      return;
+    }
+  }
+  stages_.emplace_back(name, seconds);
+}
+
+double StageTimer::Get(const std::string& name) const {
+  for (const auto& [stage, total] : stages_) {
+    if (stage == name) return total;
+  }
+  return 0.0;
+}
+
+double StageTimer::Total() const {
+  double sum = 0.0;
+  for (const auto& [stage, total] : stages_) sum += total;
+  return sum;
+}
+
+}  // namespace mips

@@ -1,0 +1,76 @@
+// Wall-clock timing utilities used by the solvers, the OPTIMUS cost
+// estimator, and the benchmark harness.
+//
+// All times are reported in seconds as double.  StageTimer accumulates named
+// phases (clustering, index construction, traversal, ...) so benches can
+// print the Figure 8-style breakdowns.
+
+#ifndef MIPS_COMMON_TIMER_H_
+#define MIPS_COMMON_TIMER_H_
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mips {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates wall time into named stages.  Stages keep first-use order so
+/// breakdown tables print deterministically.
+class StageTimer {
+ public:
+  /// Adds `seconds` to stage `name` (creating it on first use).
+  void Add(const std::string& name, double seconds);
+
+  /// Runs `fn()` and charges its wall time to stage `name`.
+  template <typename Fn>
+  auto Time(const std::string& name, Fn&& fn) {
+    WallTimer t;
+    if constexpr (std::is_void_v<decltype(fn())>) {
+      fn();
+      Add(name, t.Seconds());
+    } else {
+      auto result = fn();
+      Add(name, t.Seconds());
+      return result;
+    }
+  }
+
+  /// Total over stage `name`; 0 if the stage never ran.
+  double Get(const std::string& name) const;
+
+  /// Sum over all stages.
+  double Total() const;
+
+  /// (name, seconds) pairs in first-use order.
+  const std::vector<std::pair<std::string, double>>& stages() const {
+    return stages_;
+  }
+
+  void Clear() { stages_.clear(); }
+
+ private:
+  std::vector<std::pair<std::string, double>> stages_;
+};
+
+}  // namespace mips
+
+#endif  // MIPS_COMMON_TIMER_H_

@@ -1,0 +1,28 @@
+// Core scalar and index typedefs shared by every module.
+//
+// The paper evaluates all solvers in double precision ("Each index is
+// implemented in C++ with double-precision floating-point arithmetic"), so
+// Real is double throughout.  Index types are 32-bit: the largest reference
+// dataset (GloVe-Twitter) has ~1.1M item vectors, far below 2^31.
+
+#ifndef MIPS_COMMON_TYPES_H_
+#define MIPS_COMMON_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mips {
+
+/// Floating-point scalar used for all vector/matrix payloads.
+using Real = double;
+
+/// Row/column index into a user or item matrix.
+using Index = int32_t;
+
+/// Byte size of the L2 cache assumed by the OPTIMUS sampling lower bound
+/// (Section IV-A of the paper uses 256 KB).
+inline constexpr std::size_t kDefaultL2CacheBytes = 256 * 1024;
+
+}  // namespace mips
+
+#endif  // MIPS_COMMON_TYPES_H_

@@ -1,0 +1,91 @@
+#include "core/approx_cluster.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "cluster/spherical.h"
+#include "linalg/blas.h"
+#include "linalg/gemm.h"
+#include "topk/topk_block.h"
+
+namespace mips {
+
+Status ApproxClusterTopK::Prepare(const ConstRowBlock& users,
+                                  const ConstRowBlock& items) {
+  if (users.cols() != items.cols()) {
+    return Status::InvalidArgument("user/item factor dimensions differ");
+  }
+  if (users.rows() <= 0 || items.rows() <= 0) {
+    return Status::InvalidArgument("user and item sets must be non-empty");
+  }
+  users_ = users;
+  items_ = items;
+  KMeansOptions kopts;
+  kopts.num_clusters = options_.num_clusters;
+  kopts.max_iterations = options_.kmeans_iterations;
+  kopts.seed = options_.seed;
+  return options_.spherical ? SphericalKMeans(users, kopts, &clustering_)
+                            : KMeans(users, kopts, &clustering_);
+}
+
+Status ApproxClusterTopK::TopKAll(Index k, TopKResult* out) {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (clustering_.centroids.empty()) {
+    return Status::FailedPrecondition("Prepare was not called");
+  }
+  const Index n = users_.rows();
+  const Index f = users_.cols();
+  const Index num_clusters = clustering_.centroids.rows();
+
+  // Exact top-K of each centroid: one GEMM + per-row heap.
+  Matrix centroid_scores;
+  GemmNT(ConstRowBlock(clustering_.centroids), items_, &centroid_scores);
+  TopKResult centroid_topk(num_clusters, k);
+  TopKFromScoreBlock(centroid_scores.data(), num_clusters, items_.rows(),
+                     centroid_scores.cols(), k, 0, nullptr, &centroid_topk, 0);
+
+  // Every member receives its centroid's item list, re-scored with its own
+  // vector (ordering may differ from the true user ordering — that is the
+  // approximation).
+  *out = TopKResult(n, k);
+  for (Index u = 0; u < n; ++u) {
+    const Index c = clustering_.assignment[static_cast<std::size_t>(u)];
+    const TopKEntry* src = centroid_topk.Row(c);
+    TopKEntry* dst = out->Row(u);
+    for (Index e = 0; e < k; ++e) {
+      dst[e].item = src[e].item;
+      dst[e].score = src[e].item >= 0
+                         ? Dot(users_.Row(u), items_.Row(src[e].item), f)
+                         : src[e].score;
+    }
+  }
+  return Status::OK();
+}
+
+double MeanRecallAtK(const TopKResult& approx, const TopKResult& exact) {
+  if (approx.num_queries() != exact.num_queries() ||
+      approx.k() != exact.k() || approx.num_queries() == 0) {
+    return 0;
+  }
+  const Index k = exact.k();
+  double recall_sum = 0;
+  for (Index q = 0; q < exact.num_queries(); ++q) {
+    std::unordered_set<Index> truth;
+    Index valid = 0;
+    for (Index e = 0; e < k; ++e) {
+      if (exact.Row(q)[e].item >= 0) {
+        truth.insert(exact.Row(q)[e].item);
+        ++valid;
+      }
+    }
+    if (valid == 0) continue;
+    Index hits = 0;
+    for (Index e = 0; e < k; ++e) {
+      if (truth.count(approx.Row(q)[e].item) > 0) ++hits;
+    }
+    recall_sum += static_cast<double>(hits) / static_cast<double>(valid);
+  }
+  return recall_sum / static_cast<double>(exact.num_queries());
+}
+
+}  // namespace mips

@@ -1,0 +1,59 @@
+// Koenigstein-style approximate cluster top-K (Related Work, Section VI).
+//
+// The original use of the user-clustering idea: precompute each cluster
+// centroid's exact top-K and serve it verbatim to every member.  Fast but
+// approximate — MAXIMUS turns the same bound into an exact method.  We keep
+// the approximate variant as a baseline and to measure how much accuracy
+// the exact walk buys (recall measurement below).
+
+#ifndef MIPS_CORE_APPROX_CLUSTER_H_
+#define MIPS_CORE_APPROX_CLUSTER_H_
+
+#include <cstdint>
+
+#include "cluster/kmeans.h"
+#include "common/status.h"
+#include "topk/result.h"
+
+namespace mips {
+
+/// Options for the approximate cluster server.
+struct ApproxClusterOptions {
+  Index num_clusters = 64;
+  int kmeans_iterations = 5;
+  /// Spherical clustering (the original paper's choice) or plain k-means.
+  bool spherical = true;
+  uint64_t seed = 42;
+};
+
+/// Serves every user its cluster centroid's exact top-K.
+class ApproxClusterTopK {
+ public:
+  explicit ApproxClusterTopK(const ApproxClusterOptions& options = {})
+      : options_(options) {}
+
+  /// Clusters the users and computes each centroid's exact top-K' lists
+  /// lazily per query K.
+  Status Prepare(const ConstRowBlock& users, const ConstRowBlock& items);
+
+  /// Approximate top-K for all prepared users.  Scores reported are the
+  /// *user's own* inner products with the centroid's top items (so recall
+  /// and rating distortion can be evaluated against exact results).
+  Status TopKAll(Index k, TopKResult* out);
+
+  const Clustering& clustering() const { return clustering_; }
+
+ private:
+  ApproxClusterOptions options_;
+  ConstRowBlock users_;
+  ConstRowBlock items_;
+  Clustering clustering_;
+};
+
+/// Mean fraction of each row's exact top-K item set recovered by the
+/// approximate result (recall@K).  Requires identical shapes.
+double MeanRecallAtK(const TopKResult& approx, const TopKResult& exact);
+
+}  // namespace mips
+
+#endif  // MIPS_CORE_APPROX_CLUSTER_H_

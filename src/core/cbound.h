@@ -1,0 +1,40 @@
+// The Koenigstein et al. angular upper bound (paper Equations 2 and 3).
+//
+// For a user u assigned to centroid c and an item i, with theta_xy the
+// angle between vectors x and y, the scale-free rating r*_ui = u.i / ||u||
+// obeys (Eq. 2):
+//
+//     r*_ui <= ||i|| * cos(theta_ic - theta_uc)   if theta_uc < theta_ic
+//     r*_ui <= ||i||                              otherwise
+//
+// MAXIMUS coarsens theta_uc to the *cluster-wide* maximum theta_b =
+// max_{u in C} theta_uc (Eq. 3), so one sorted item list per cluster bounds
+// every member's ratings.  All angles are in [0, pi].
+
+#ifndef MIPS_CORE_CBOUND_H_
+#define MIPS_CORE_CBOUND_H_
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/types.h"
+
+namespace mips {
+
+/// Equation 3: upper bound on the scale-free rating of an item with norm
+/// `item_norm` at angle `theta_ic` from the centroid, for any user within
+/// angle `theta_b` of the centroid.
+inline Real CBound(Real item_norm, Real theta_ic, Real theta_b) {
+  return theta_b < theta_ic ? item_norm * std::cos(theta_ic - theta_b)
+                            : item_norm;
+}
+
+/// Angle in [0, pi] whose cosine is `cosine` (input clamped to [-1, 1] so
+/// floating-point drift never yields NaN).
+inline Real AngleFromCosine(Real cosine) {
+  return std::acos(std::clamp(cosine, Real{-1}, Real{1}));
+}
+
+}  // namespace mips
+
+#endif  // MIPS_CORE_CBOUND_H_

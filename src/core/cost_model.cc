@@ -1,0 +1,51 @@
+#include "core/cost_model.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "linalg/gemm.h"
+#include "linalg/matrix.h"
+
+namespace mips {
+
+StatusOr<BmmCostModel> BmmCostModel::Calibrate(Index probe_m, Index probe_n,
+                                               Index probe_k,
+                                               int probe_repeats) {
+  if (probe_m <= 0 || probe_n <= 0 || probe_k <= 0 || probe_repeats <= 0) {
+    return Status::InvalidArgument("probe dimensions must be positive");
+  }
+  Matrix a(probe_m, probe_k);
+  Matrix b(probe_n, probe_k);
+  Matrix c(probe_m, probe_n);
+  Rng rng(4242);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a.data()[i] = static_cast<Real>(rng.Normal());
+  }
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b.data()[i] = static_cast<Real>(rng.Normal());
+  }
+
+  // Warm up once (page faults, frequency ramp), then keep the fastest of
+  // the probe repeats: transient interference only ever slows a run down.
+  GemmNT(a.data(), probe_m, b.data(), probe_n, probe_k, 1, 0, c.data(),
+         probe_n);
+  double best_seconds = 1e300;
+  for (int r = 0; r < probe_repeats; ++r) {
+    WallTimer timer;
+    GemmNT(a.data(), probe_m, b.data(), probe_n, probe_k, 1, 0, c.data(),
+           probe_n);
+    best_seconds = std::min(best_seconds, timer.Seconds());
+  }
+  const double flops = 2.0 * probe_m * probe_n * probe_k;
+  return BmmCostModel(flops / best_seconds);
+}
+
+double BmmCostModel::PredictGemmSeconds(int64_t m, int64_t n,
+                                        int64_t k) const {
+  if (m <= 0 || n <= 0 || k <= 0 || sustained_flops_ <= 0) return 0;
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(k) / sustained_flops_;
+}
+
+}  // namespace mips

@@ -1,0 +1,25 @@
+// Name-based solver factory for benches, examples, and the OPTIMUS driver.
+
+#ifndef MIPS_CORE_REGISTRY_H_
+#define MIPS_CORE_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "solvers/solver.h"
+
+namespace mips {
+
+/// Creates a solver by name: "naive", "bmm", "lemp", "fexipro-si",
+/// "fexipro-sir", or "maximus" (paper-default options).  NotFound for
+/// unknown names.
+StatusOr<std::unique_ptr<MipsSolver>> CreateSolver(const std::string& name);
+
+/// All names CreateSolver accepts, in display order.
+std::vector<std::string> AvailableSolvers();
+
+}  // namespace mips
+
+#endif  // MIPS_CORE_REGISTRY_H_

@@ -1,0 +1,76 @@
+#include "core/serving.h"
+
+#include "common/timer.h"
+#include "core/maximus.h"
+#include "core/registry.h"
+#include "linalg/blas.h"
+#include "topk/topk_heap.h"
+
+namespace mips {
+
+StatusOr<std::unique_ptr<ServingSession>> ServingSession::Open(
+    const ConstRowBlock& users, const ConstRowBlock& items,
+    const ServingOptions& options) {
+  if (options.k <= 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  if (options.strategies.size() < 2) {
+    return Status::InvalidArgument(
+        "serving session needs at least two candidate strategies");
+  }
+  std::unique_ptr<ServingSession> session(new ServingSession());
+  session->users_ = users;
+  session->items_ = items;
+  session->options_ = options;
+
+  std::vector<MipsSolver*> raw;
+  for (const std::string& name : options.strategies) {
+    auto solver = CreateSolver(name);
+    MIPS_RETURN_IF_ERROR(solver.status());
+    raw.push_back(solver->get());
+    session->solvers_.push_back(std::move(*solver));
+  }
+
+  Optimus optimus(options.optimus);
+  std::size_t winner = 0;
+  MIPS_RETURN_IF_ERROR(optimus.Decide(users, items, options.k, raw, &winner,
+                                      &session->report_));
+  session->chosen_ = raw[winner];
+  session->maximus_ = dynamic_cast<MaximusSolver*>(session->chosen_);
+  return session;
+}
+
+Status ServingSession::ServeBatch(std::span<const Index> user_ids,
+                                  TopKResult* out) {
+  WallTimer timer;
+  MIPS_RETURN_IF_ERROR(chosen_->TopKForUsers(options_.k, user_ids, out));
+  stats_.serve_seconds += timer.Seconds();
+  ++stats_.batches_served;
+  stats_.users_served += static_cast<int64_t>(user_ids.size());
+  return Status::OK();
+}
+
+Status ServingSession::ServeNewUser(const Real* user_vector,
+                                    TopKEntry* out_row) {
+  WallTimer timer;
+  if (maximus_ != nullptr) {
+    // Exact dynamic-user walk (Section III-E).
+    MIPS_RETURN_IF_ERROR(
+        maximus_->QueryDynamicUser(user_vector, options_.k, out_row));
+  } else {
+    // Dense scoring row: one pass of inner products + heap.  Exact and
+    // strategy-independent; a single user cannot exploit blocking anyway.
+    const Index n = items_.rows();
+    const Index f = items_.cols();
+    TopKHeap heap(options_.k);
+    for (Index i = 0; i < n; ++i) {
+      heap.Push(i, Dot(user_vector, items_.Row(i), f));
+    }
+    heap.ExtractDescending(out_row);
+  }
+  stats_.serve_seconds += timer.Seconds();
+  ++stats_.new_users_served;
+  return Status::OK();
+}
+
+}  // namespace mips

@@ -1,0 +1,83 @@
+// Online serving session: the paper's Clipper-style setting.
+//
+// Section II-A: "MAXIMUS, our proposed index, can also accelerate MIPS
+// for a subset of users at a time, as might happen in a model serving
+// system like Clipper that collects tens of requests at once."  This
+// facade packages that workflow: open a session on a trained model, let
+// OPTIMUS pick the serving strategy once (via its sampling decision, not
+// a full batch run), then answer mini-batches of known users and
+// individual *new* users for the lifetime of the session.
+//
+// New users are served exactly: MAXIMUS's dynamic-user walk when MAXIMUS
+// is the chosen strategy, a dense scoring row otherwise.
+
+#ifndef MIPS_CORE_SERVING_H_
+#define MIPS_CORE_SERVING_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/optimus.h"
+#include "solvers/solver.h"
+
+namespace mips {
+
+/// Configuration for a serving session.
+struct ServingOptions {
+  /// Top-K size every query in this session uses.
+  Index k = 10;
+  /// Candidate strategies by registry name; OPTIMUS picks among them.
+  std::vector<std::string> strategies = {"bmm", "maximus"};
+  /// Optimizer knobs for the opening decision.
+  OptimusOptions optimus;
+};
+
+/// A long-lived serving endpoint over one (users, items) model.
+class ServingSession {
+ public:
+  /// Builds the candidate indexes, runs the OPTIMUS decision, and returns
+  /// a session bound to the winning strategy.  The model views must
+  /// outlive the session.
+  static StatusOr<std::unique_ptr<ServingSession>> Open(
+      const ConstRowBlock& users, const ConstRowBlock& items,
+      const ServingOptions& options);
+
+  /// Exact top-K for a mini-batch of known users (ids into the session's
+  /// user matrix).
+  Status ServeBatch(std::span<const Index> user_ids, TopKResult* out);
+
+  /// Exact top-K for a user vector that was NOT in the session's user
+  /// matrix (Section III-E).  `out_row` must hold k entries.
+  Status ServeNewUser(const Real* user_vector, TopKEntry* out_row);
+
+  /// Name of the strategy OPTIMUS selected at Open time.
+  const std::string& strategy() const { return report_.chosen; }
+  /// The opening decision trace.
+  const OptimusReport& decision_report() const { return report_; }
+
+  /// Cumulative serving statistics.
+  struct Stats {
+    int64_t batches_served = 0;
+    int64_t users_served = 0;
+    int64_t new_users_served = 0;
+    double serve_seconds = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  ServingSession() = default;
+
+  ConstRowBlock users_;
+  ConstRowBlock items_;
+  ServingOptions options_;
+  std::vector<std::unique_ptr<MipsSolver>> solvers_;
+  MipsSolver* chosen_ = nullptr;
+  class MaximusSolver* maximus_ = nullptr;  // non-null iff chosen is MAXIMUS
+  OptimusReport report_;
+  Stats stats_;
+};
+
+}  // namespace mips
+
+#endif  // MIPS_CORE_SERVING_H_

@@ -1,0 +1,202 @@
+#include "data/datasets.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+namespace mips {
+namespace {
+
+// Full-scale dimensions from Table I.
+constexpr int64_t kNetflixUsers = 480189;
+constexpr int64_t kNetflixItems = 17770;
+constexpr int64_t kNetflixRatings = 100480507;
+constexpr int64_t kKddUsers = 1000990;
+constexpr int64_t kKddItems = 624961;
+constexpr int64_t kKddRatings = 252810175;
+constexpr int64_t kR2Users = 1823179;
+constexpr int64_t kR2Items = 136736;
+constexpr int64_t kR2Ratings = 699640226;
+constexpr int64_t kGloveUsers = 100000;
+constexpr int64_t kGloveItems = 1093514;
+
+// Generator calibrations per model family.  The decisive knob is
+// item_norm_sigma: flat norms (Netflix explicit models) leave nothing for
+// length-based pruning so BMM wins; skewed norms (R2, KDD, and to a lesser
+// degree GloVe) concentrate the top-K mass in few long items so the
+// indexes prune most of the catalog.  user_dispersion controls how tight
+// k-means clusters are, i.e. how sharp MAXIMUS's theta_b bound is.
+SyntheticModelConfig NetflixExplicitGen() {
+  SyntheticModelConfig g;
+  g.item_norm_sigma = 0.12;
+  g.user_modes = 32;
+  g.user_dispersion = 0.85;
+  g.user_norm_sigma = 0.25;
+  return g;
+}
+
+SyntheticModelConfig NetflixBprGen() {
+  SyntheticModelConfig g;
+  g.item_norm_sigma = 0.20;
+  g.user_modes = 24;
+  g.user_dispersion = 0.7;
+  g.user_norm_sigma = 0.25;
+  g.non_negative = true;
+  return g;
+}
+
+SyntheticModelConfig R2Gen() {
+  SyntheticModelConfig g;
+  g.item_norm_sigma = 0.95;
+  g.user_modes = 8;
+  g.user_dispersion = 0.25;
+  g.user_norm_sigma = 0.3;
+  return g;
+}
+
+SyntheticModelConfig KddGen() {
+  SyntheticModelConfig g;
+  g.item_norm_sigma = 0.55;
+  g.user_modes = 16;
+  g.user_dispersion = 0.55;
+  g.user_norm_sigma = 0.3;
+  return g;
+}
+
+SyntheticModelConfig KddRefGen() {
+  SyntheticModelConfig g;
+  g.item_norm_sigma = 0.75;
+  g.user_modes = 8;
+  g.user_dispersion = 0.3;
+  g.user_norm_sigma = 0.3;
+  return g;
+}
+
+SyntheticModelConfig GloveGen() {
+  SyntheticModelConfig g;
+  g.item_norm_sigma = 0.38;
+  g.user_modes = 64;
+  g.user_dispersion = 0.6;
+  g.user_norm_sigma = 0.35;
+  return g;
+}
+
+ModelPreset MakePreset(const std::string& family, const std::string& dataset,
+                       Index f, int64_t users, int64_t items,
+                       double default_scale, SyntheticModelConfig gen,
+                       uint64_t seed) {
+  ModelPreset p;
+  std::string lower = family;
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  p.id = lower + "-" + std::to_string(f);
+  p.display_name = family + ", f = " + std::to_string(f);
+  p.dataset = dataset;
+  p.factors = f;
+  p.full_users = users;
+  p.full_items = items;
+  p.default_scale = default_scale;
+  p.generator = gen;
+  p.generator.name = p.display_name;
+  p.generator.num_factors = f;
+  p.generator.seed = seed;
+  return p;
+}
+
+std::vector<ModelPreset> BuildPresets() {
+  std::vector<ModelPreset> presets;
+  uint64_t seed = 1000;
+
+  // Netflix-DSGD: f in {10, 50, 100}.
+  for (Index f : {10, 50, 100}) {
+    presets.push_back(MakePreset("Netflix-DSGD", "Netflix", f, kNetflixUsers,
+                                 kNetflixItems, 0.02, NetflixExplicitGen(),
+                                 ++seed));
+  }
+  // Netflix-NOMAD: f in {10, 25, 50, 100}.
+  for (Index f : {10, 25, 50, 100}) {
+    presets.push_back(MakePreset("Netflix-NOMAD", "Netflix", f, kNetflixUsers,
+                                 kNetflixItems, 0.02, NetflixExplicitGen(),
+                                 ++seed));
+  }
+  // Netflix-BPR: f in {10, 25, 50, 100}.
+  for (Index f : {10, 25, 50, 100}) {
+    presets.push_back(MakePreset("Netflix-BPR", "Netflix", f, kNetflixUsers,
+                                 kNetflixItems, 0.02, NetflixBprGen(),
+                                 ++seed));
+  }
+  // R2-NOMAD: f in {10, 25, 50, 100}.
+  for (Index f : {10, 25, 50, 100}) {
+    presets.push_back(MakePreset("R2-NOMAD", "R2", f, kR2Users, kR2Items,
+                                 0.015, R2Gen(), ++seed));
+  }
+  // KDD-NOMAD: f in {10, 25, 50, 100}.
+  for (Index f : {10, 25, 50, 100}) {
+    presets.push_back(MakePreset("KDD-NOMAD", "KDD", f, kKddUsers, kKddItems,
+                                 0.004, KddGen(), ++seed));
+  }
+  // KDD-REF: f = 51.
+  presets.push_back(MakePreset("KDD-REF", "KDD", 51, kKddUsers, kKddItems,
+                               0.004, KddRefGen(), ++seed));
+  // GloVe Twitter: f in {50, 100, 200}.
+  for (Index f : {50, 100, 200}) {
+    presets.push_back(MakePreset("GloVe-Twitter", "GloVe", f, kGloveUsers,
+                                 kGloveItems, 0.02, GloveGen(), ++seed));
+  }
+  return presets;
+}
+
+}  // namespace
+
+const std::vector<DatasetInfo>& AllDatasetInfos() {
+  static const std::vector<DatasetInfo> kInfos = {
+      {"Netflix Prize (Netflix)", kNetflixUsers, kNetflixItems,
+       kNetflixRatings},
+      {"Yahoo Music KDD (KDD)", kKddUsers, kKddItems, kKddRatings},
+      {"Yahoo Music R2 (R2)", kR2Users, kR2Items, kR2Ratings},
+      {"GloVe-Twitter", kGloveUsers, kGloveItems, 0},
+  };
+  return kInfos;
+}
+
+const std::vector<ModelPreset>& AllModelPresets() {
+  static const std::vector<ModelPreset> kPresets = BuildPresets();
+  return kPresets;
+}
+
+StatusOr<ModelPreset> FindModelPreset(const std::string& id) {
+  for (const auto& preset : AllModelPresets()) {
+    if (preset.id == id) return preset;
+  }
+  return Status::NotFound("unknown model preset: " + id);
+}
+
+ScaledDims ComputeScaledDims(const ModelPreset& preset,
+                             double scale_multiplier) {
+  const double scale = preset.default_scale * scale_multiplier;
+  ScaledDims dims;
+  const auto clamp_dim = [](double scaled, int64_t full, Index floor) {
+    const int64_t v = static_cast<int64_t>(std::llround(scaled));
+    const int64_t lo = std::min<int64_t>(floor, full);
+    return static_cast<Index>(std::clamp<int64_t>(v, lo, full));
+  };
+  dims.users = clamp_dim(static_cast<double>(preset.full_users) * scale,
+                         preset.full_users, 1000);
+  dims.items = clamp_dim(static_cast<double>(preset.full_items) * scale,
+                         preset.full_items, 800);
+  return dims;
+}
+
+StatusOr<MFModel> MakeModel(const ModelPreset& preset,
+                            double scale_multiplier) {
+  if (scale_multiplier <= 0) {
+    return Status::InvalidArgument("scale multiplier must be positive");
+  }
+  const ScaledDims dims = ComputeScaledDims(preset, scale_multiplier);
+  SyntheticModelConfig config = preset.generator;
+  config.num_users = dims.users;
+  config.num_items = dims.items;
+  return GenerateSyntheticModel(config);
+}
+
+}  // namespace mips

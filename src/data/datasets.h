@@ -1,0 +1,77 @@
+// Reference dataset and model presets.
+//
+// Table I of the paper lists four datasets (Netflix, Yahoo KDD, Yahoo R2,
+// GloVe-Twitter); Figure 5 evaluates 23 MF models trained on them.  Each
+// preset here records the full-scale dimensions for reporting plus a
+// calibrated SyntheticModelConfig whose norm-skew / clusterability knobs
+// put the generated model in the same solver-preference regime the paper
+// measured for that model family (Netflix-like: BMM-friendly, flat item
+// norms; R2-like: index-friendly, skewed norms; etc.).
+//
+// Benches run models at `default_scale` (dimensions scaled linearly, with
+// floors so index structure remains meaningful); `--scale` multiplies it.
+// scale_multiplier chosen so default_scale * multiplier == 1 reproduces the
+// paper's full dimensions.
+
+#ifndef MIPS_DATA_DATASETS_H_
+#define MIPS_DATA_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/synthetic.h"
+
+namespace mips {
+
+/// One row of Table I (full-scale dataset statistics).
+struct DatasetInfo {
+  std::string name;
+  int64_t num_users = 0;
+  int64_t num_items = 0;
+  int64_t num_ratings = 0;  // 0 = not a ratings dataset (GloVe)
+};
+
+/// The four reference datasets with the paper's Table I numbers.
+const std::vector<DatasetInfo>& AllDatasetInfos();
+
+/// A reference model preset: full dimensions + calibrated generator knobs.
+struct ModelPreset {
+  /// Preset id, e.g. "netflix-nomad-50".
+  std::string id;
+  /// Display name, e.g. "Netflix-NOMAD, f = 50".
+  std::string display_name;
+  /// Dataset this model was trained on ("Netflix", "KDD", "R2", "GloVe").
+  std::string dataset;
+  Index factors = 0;
+  int64_t full_users = 0;
+  int64_t full_items = 0;
+  /// Scale at which benches run this preset by default.
+  double default_scale = 0.02;
+  /// Distribution knobs (dimensions are filled in by MakeModel).
+  SyntheticModelConfig generator;
+};
+
+/// All 23 reference model presets in Figure 5 order.
+const std::vector<ModelPreset>& AllModelPresets();
+
+/// Looks up a preset by id ("netflix-nomad-50").  NotFound on miss.
+StatusOr<ModelPreset> FindModelPreset(const std::string& id);
+
+/// Dimensions of `preset` at default_scale * scale_multiplier, linear in
+/// both axes with floors (users >= 1000, items >= 800) and capped at full
+/// size.
+struct ScaledDims {
+  Index users = 0;
+  Index items = 0;
+};
+ScaledDims ComputeScaledDims(const ModelPreset& preset,
+                             double scale_multiplier);
+
+/// Instantiates the preset's synthetic model at the scaled dimensions.
+StatusOr<MFModel> MakeModel(const ModelPreset& preset,
+                            double scale_multiplier = 1.0);
+
+}  // namespace mips
+
+#endif  // MIPS_DATA_DATASETS_H_

@@ -1,0 +1,98 @@
+#include "data/io.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace mips {
+namespace {
+constexpr char kMagic[8] = {'M', 'I', 'P', 'S', 'M', 'A', 'T', '1'};
+}  // namespace
+
+Status SaveMatrixBinary(const Matrix& m, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IOError("cannot open for write: " + path);
+  out.write(kMagic, sizeof(kMagic));
+  const int64_t rows = m.rows();
+  const int64_t cols = m.cols();
+  out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  out.write(reinterpret_cast<const char*>(m.data()),
+            static_cast<std::streamsize>(m.size() * sizeof(Real)));
+  if (!out) return Status::IOError("short write: " + path);
+  return Status::OK();
+}
+
+StatusOr<Matrix> LoadMatrixBinary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("bad magic in " + path);
+  }
+  int64_t rows = 0;
+  int64_t cols = 0;
+  in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  if (!in || rows < 0 || cols < 0 || rows > (int64_t{1} << 31) ||
+      cols > (int64_t{1} << 31)) {
+    return Status::InvalidArgument("bad dimensions in " + path);
+  }
+  Matrix m(static_cast<Index>(rows), static_cast<Index>(cols));
+  in.read(reinterpret_cast<char*>(m.data()),
+          static_cast<std::streamsize>(m.size() * sizeof(Real)));
+  if (!in) return Status::IOError("short read: " + path);
+  return m;
+}
+
+Status SaveMatrixCsv(const Matrix& m, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open for write: " + path);
+  for (Index r = 0; r < m.rows(); ++r) {
+    const Real* row = m.Row(r);
+    for (Index c = 0; c < m.cols(); ++c) {
+      std::fprintf(f, c == 0 ? "%.17g" : ",%.17g", row[c]);
+    }
+    std::fputc('\n', f);
+  }
+  const bool ok = std::fclose(f) == 0;
+  return ok ? Status::OK() : Status::IOError("close failed: " + path);
+}
+
+StatusOr<Matrix> LoadMatrixCsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IOError("cannot open for read: " + path);
+  std::vector<std::vector<Real>> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<Real> row;
+    std::stringstream ss(line);
+    std::string cell;
+    while (std::getline(ss, cell, ',')) {
+      try {
+        row.push_back(std::stod(cell));
+      } catch (const std::exception&) {
+        return Status::InvalidArgument("bad number '" + cell + "' in " + path);
+      }
+    }
+    if (!rows.empty() && row.size() != rows.front().size()) {
+      return Status::InvalidArgument("ragged rows in " + path);
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) return Matrix();
+  Matrix m(static_cast<Index>(rows.size()),
+           static_cast<Index>(rows.front().size()));
+  for (Index r = 0; r < m.rows(); ++r) {
+    const auto& src = rows[static_cast<std::size_t>(r)];
+    std::memcpy(m.Row(r), src.data(), src.size() * sizeof(Real));
+  }
+  return m;
+}
+
+}  // namespace mips

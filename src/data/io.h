@@ -1,0 +1,35 @@
+// Matrix persistence: a simple binary format plus CSV import/export.
+//
+// Binary layout: 8-byte magic "MIPSMAT1", int64 rows, int64 cols, then
+// rows*cols little-endian doubles in row-major order.  Used by the examples
+// to save trained models and by users who want to feed their own factor
+// matrices to the solvers.
+
+#ifndef MIPS_DATA_IO_H_
+#define MIPS_DATA_IO_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace mips {
+
+/// Writes `m` to `path` in the MIPSMAT1 binary format.
+Status SaveMatrixBinary(const Matrix& m, const std::string& path);
+
+/// Reads a MIPSMAT1 file.  IOError on open/short-read; InvalidArgument on
+/// bad magic or nonsensical dimensions.
+StatusOr<Matrix> LoadMatrixBinary(const std::string& path);
+
+/// Writes `m` as comma-separated values, one row per line, %.17g precision
+/// (round-trips doubles exactly).
+Status SaveMatrixCsv(const Matrix& m, const std::string& path);
+
+/// Reads a CSV of numbers into a Matrix.  All rows must have the same
+/// column count.  Empty lines are skipped.
+StatusOr<Matrix> LoadMatrixCsv(const std::string& path);
+
+}  // namespace mips
+
+#endif  // MIPS_DATA_IO_H_

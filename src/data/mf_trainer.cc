@@ -1,0 +1,107 @@
+#include "data/mf_trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+
+namespace mips {
+
+StatusOr<MFModel> TrainMF(const std::vector<Rating>& ratings, Index num_users,
+                          Index num_items, const MFTrainConfig& config) {
+  if (num_users <= 0 || num_items <= 0 || config.num_factors <= 0) {
+    return Status::InvalidArgument("dimensions must be positive");
+  }
+  if (config.epochs <= 0 || config.learning_rate <= 0) {
+    return Status::InvalidArgument("epochs and learning_rate must be positive");
+  }
+  for (const Rating& r : ratings) {
+    if (r.user < 0 || r.user >= num_users || r.item < 0 ||
+        r.item >= num_items) {
+      return Status::OutOfRange("rating references out-of-range user/item");
+    }
+  }
+
+  const Index f = config.num_factors;
+  Rng rng(config.seed);
+  MFModel model;
+  model.name = "trained-mf";
+  model.users.Resize(num_users, f);
+  model.items.Resize(num_items, f);
+  for (std::size_t i = 0; i < model.users.size(); ++i) {
+    model.users.data()[i] =
+        static_cast<Real>(rng.Normal(0.0, config.init_scale));
+  }
+  for (std::size_t i = 0; i < model.items.size(); ++i) {
+    model.items.data()[i] =
+        static_cast<Real>(rng.Normal(0.0, config.init_scale));
+  }
+
+  // SGD over a reshuffled example order each epoch.
+  std::vector<std::size_t> order(ratings.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  const Real lr = config.learning_rate;
+  const Real reg = config.regularization;
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    // Fisher-Yates shuffle with our deterministic RNG.
+    for (std::size_t i = order.size(); i > 1; --i) {
+      const std::size_t j = rng.UniformInt(i);
+      std::swap(order[i - 1], order[j]);
+    }
+    for (const std::size_t idx : order) {
+      const Rating& r = ratings[idx];
+      Real* u = model.users.Row(r.user);
+      Real* v = model.items.Row(r.item);
+      const Real err = r.value - Dot(u, v, f);
+      for (Index k = 0; k < f; ++k) {
+        const Real uk = u[k];
+        u[k] += lr * (err * v[k] - reg * uk);
+        v[k] += lr * (err * uk - reg * v[k]);
+      }
+    }
+  }
+  return model;
+}
+
+Real ComputeRMSE(const MFModel& model, const std::vector<Rating>& ratings) {
+  if (ratings.empty()) return 0;
+  Real sse = 0;
+  const Index f = model.num_factors();
+  for (const Rating& r : ratings) {
+    const Real pred = Dot(model.users.Row(r.user), model.items.Row(r.item), f);
+    const Real err = r.value - pred;
+    sse += err * err;
+  }
+  return std::sqrt(sse / static_cast<Real>(ratings.size()));
+}
+
+std::vector<Rating> GenerateSyntheticRatings(Index num_users, Index num_items,
+                                             std::size_t count,
+                                             Index true_rank, Real noise,
+                                             uint64_t seed) {
+  Rng rng(seed);
+  // Ground-truth low-rank factors.
+  Matrix gu(num_users, true_rank);
+  Matrix gi(num_items, true_rank);
+  for (std::size_t i = 0; i < gu.size(); ++i) {
+    gu.data()[i] = static_cast<Real>(rng.Normal(0.0, 0.8));
+  }
+  for (std::size_t i = 0; i < gi.size(); ++i) {
+    gi.data()[i] = static_cast<Real>(rng.Normal(0.0, 0.8));
+  }
+  std::vector<Rating> ratings;
+  ratings.reserve(count);
+  for (std::size_t n = 0; n < count; ++n) {
+    Rating r;
+    r.user = static_cast<Index>(rng.UniformInt(static_cast<uint64_t>(num_users)));
+    r.item = static_cast<Index>(rng.UniformInt(static_cast<uint64_t>(num_items)));
+    r.value = Dot(gu.Row(r.user), gi.Row(r.item), true_rank) +
+              static_cast<Real>(rng.Normal(0.0, noise));
+    ratings.push_back(r);
+  }
+  return ratings;
+}
+
+}  // namespace mips

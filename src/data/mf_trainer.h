@@ -1,0 +1,58 @@
+// A small SGD matrix-factorization trainer.
+//
+// The paper serves *trained* MF models; to make the end-to-end examples
+// realistic (train -> serve with OPTIMUS) we include a plain biased-free
+// SGD trainer for explicit feedback, in the spirit of the NOMAD/DSGD
+// models it cites — single-machine, but the same objective:
+//
+//   min_{U,I}  sum_{(u,i,r)} (r - u.i)^2  +  lambda (||u||^2 + ||i||^2)
+//
+// Also provides a synthetic ratings generator (low-rank ground truth plus
+// noise) so training works fully offline.
+
+#ifndef MIPS_DATA_MF_TRAINER_H_
+#define MIPS_DATA_MF_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/synthetic.h"
+
+namespace mips {
+
+/// One observed (user, item, rating) triple.
+struct Rating {
+  Index user = 0;
+  Index item = 0;
+  Real value = 0;
+};
+
+/// SGD hyperparameters.
+struct MFTrainConfig {
+  Index num_factors = 10;
+  int epochs = 15;
+  Real learning_rate = 0.02;
+  Real regularization = 0.05;
+  /// Initial factor scale (factors ~ N(0, init_scale)).
+  Real init_scale = 0.1;
+  uint64_t seed = 7;
+};
+
+/// Trains an MF model on the given ratings.  InvalidArgument if the config
+/// or dimensions are degenerate.
+StatusOr<MFModel> TrainMF(const std::vector<Rating>& ratings, Index num_users,
+                          Index num_items, const MFTrainConfig& config);
+
+/// Root-mean-square error of `model` over `ratings`.
+Real ComputeRMSE(const MFModel& model, const std::vector<Rating>& ratings);
+
+/// Draws `count` ratings from a random rank-`true_rank` model plus Gaussian
+/// noise, for offline training demos.  (user, item) pairs may repeat.
+std::vector<Rating> GenerateSyntheticRatings(Index num_users, Index num_items,
+                                             std::size_t count,
+                                             Index true_rank, Real noise,
+                                             uint64_t seed);
+
+}  // namespace mips
+
+#endif  // MIPS_DATA_MF_TRAINER_H_

@@ -1,0 +1,108 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "linalg/blas.h"
+
+namespace mips {
+namespace {
+
+// Fills `out[0..f)` with a uniformly random unit direction.
+void RandomUnitVector(Index f, Rng* rng, Real* out) {
+  Real norm2 = 0;
+  do {
+    for (Index i = 0; i < f; ++i) {
+      out[i] = static_cast<Real>(rng->Normal());
+    }
+    norm2 = Nrm2Squared(out, f);
+  } while (norm2 == 0);
+  Scale(Real{1} / std::sqrt(norm2), out, f);
+}
+
+}  // namespace
+
+StatusOr<MFModel> GenerateSyntheticModel(const SyntheticModelConfig& config) {
+  if (config.num_users <= 0 || config.num_items <= 0 ||
+      config.num_factors <= 0) {
+    return Status::InvalidArgument("model dimensions must be positive");
+  }
+  if (config.user_modes <= 0) {
+    return Status::InvalidArgument("user_modes must be positive");
+  }
+
+  const Index f = config.num_factors;
+  Rng rng(config.seed);
+  MFModel model;
+  model.name = config.name;
+
+  // --- Items: random direction scaled by a log-normal norm. ---
+  model.items.Resize(config.num_items, f);
+  for (Index i = 0; i < config.num_items; ++i) {
+    Real* row = model.items.Row(i);
+    RandomUnitVector(f, &rng, row);
+    const Real norm = static_cast<Real>(
+        rng.LogNormal(config.item_norm_mu, config.item_norm_sigma));
+    Scale(norm, row, f);
+  }
+
+  // --- Users: mixture of direction modes with angular dispersion. ---
+  Matrix modes(config.user_modes, f);
+  for (Index m = 0; m < config.user_modes; ++m) {
+    RandomUnitVector(f, &rng, modes.Row(m));
+  }
+  model.users.Resize(config.num_users, f);
+  for (Index u = 0; u < config.num_users; ++u) {
+    Real* row = model.users.Row(u);
+    const Index m = static_cast<Index>(
+        rng.UniformInt(static_cast<uint64_t>(config.user_modes)));
+    const Real* mode = modes.Row(m);
+    for (Index i = 0; i < f; ++i) {
+      row[i] = mode[i] +
+               config.user_dispersion * static_cast<Real>(rng.Normal());
+    }
+    const Real dir_norm = Nrm2(row, f);
+    if (dir_norm > 0) Scale(Real{1} / dir_norm, row, f);
+    const Real norm =
+        static_cast<Real>(rng.LogNormal(0.0, config.user_norm_sigma));
+    Scale(norm, row, f);
+  }
+
+  // --- Optional non-negativity (implicit-feedback / BPR-like factors). ---
+  if (config.non_negative) {
+    for (std::size_t i = 0; i < model.users.size(); ++i) {
+      model.users.data()[i] = std::abs(model.users.data()[i]);
+    }
+    for (std::size_t i = 0; i < model.items.size(); ++i) {
+      model.items.data()[i] = std::abs(model.items.data()[i]);
+    }
+  }
+  return model;
+}
+
+VectorSetStats ComputeVectorSetStats(const ConstRowBlock& vectors) {
+  VectorSetStats stats;
+  const Index n = vectors.rows();
+  if (n == 0) return stats;
+  Real sum = 0;
+  Real sum2 = 0;
+  stats.min_norm = std::numeric_limits<Real>::max();
+  for (Index r = 0; r < n; ++r) {
+    const Real norm = Nrm2(vectors.Row(r), vectors.cols());
+    stats.min_norm = std::min(stats.min_norm, norm);
+    stats.max_norm = std::max(stats.max_norm, norm);
+    sum += norm;
+    sum2 += norm * norm;
+  }
+  stats.mean_norm = sum / static_cast<Real>(n);
+  const Real var =
+      std::max(Real{0}, sum2 / static_cast<Real>(n) -
+                            stats.mean_norm * stats.mean_norm);
+  stats.norm_cv =
+      stats.mean_norm > 0 ? std::sqrt(var) / stats.mean_norm : Real{0};
+  return stats;
+}
+
+}  // namespace mips

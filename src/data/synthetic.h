@@ -1,0 +1,86 @@
+// Synthetic matrix-factorization model generation.
+//
+// The paper evaluates on 23 trained MF models (Netflix / Yahoo KDD /
+// Yahoo R2 / GloVe embeddings).  Those multi-GB artifacts are not available
+// offline, so this module generates factor matrices whose *solver-relevant*
+// statistics are controllable:
+//
+//  * item_norm_sigma — log-normal spread of item vector lengths.  Flat
+//    norms (small sigma) starve length-based pruning, which is the regime
+//    where BMM beats the indexes (Netflix-like, Figure 2 left).  Skewed
+//    norms (large sigma) let LEMP/FEXIPRO/MAXIMUS prune most items
+//    (R2-like, Figure 2 right).
+//  * user_modes / user_dispersion — users are drawn around a small number
+//    of direction modes; tight dispersion gives k-means small theta_b and
+//    makes MAXIMUS's bound effective.
+//  * non_negative — emulates implicit-feedback (BPR-style) factors whose
+//    coordinates are predominantly positive.
+//
+// DESIGN.md §2 documents this substitution and why it preserves the
+// paper's qualitative results.
+
+#ifndef MIPS_DATA_SYNTHETIC_H_
+#define MIPS_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace mips {
+
+/// A factored recommendation model: |U| x f user matrix and |I| x f item
+/// matrix, scored as U * I^T.
+struct MFModel {
+  std::string name;
+  Matrix users;
+  Matrix items;
+
+  Index num_users() const { return users.rows(); }
+  Index num_items() const { return items.rows(); }
+  Index num_factors() const { return users.cols(); }
+};
+
+/// Generator knobs; see the header comment for the role of each.
+struct SyntheticModelConfig {
+  std::string name = "synthetic";
+  Index num_users = 10000;
+  Index num_items = 2000;
+  Index num_factors = 50;
+  uint64_t seed = 1;
+
+  /// Log-normal sigma of item norms (0 = all item norms equal).
+  Real item_norm_sigma = 0.3;
+  /// Log-normal mu of item norms (sets the norm scale).
+  Real item_norm_mu = 0.0;
+
+  /// Number of user direction modes (>= 1).
+  Index user_modes = 16;
+  /// Angular noise around the mode direction; 0 = all users on the mode.
+  Real user_dispersion = 0.5;
+  /// Log-normal sigma of user norms (does not affect top-K order per user).
+  Real user_norm_sigma = 0.2;
+
+  /// Clamp all factor coordinates to be non-negative (BPR-like models).
+  bool non_negative = false;
+};
+
+/// Generates a model deterministically from `config.seed`.
+/// Returns InvalidArgument for non-positive dimensions.
+StatusOr<MFModel> GenerateSyntheticModel(const SyntheticModelConfig& config);
+
+/// Summary statistics of a vector set, used by tests and by the Table I
+/// bench to show the generated workloads match their presets.
+struct VectorSetStats {
+  Real min_norm = 0;
+  Real max_norm = 0;
+  Real mean_norm = 0;
+  /// Coefficient of variation of norms (stddev / mean).
+  Real norm_cv = 0;
+};
+VectorSetStats ComputeVectorSetStats(const ConstRowBlock& vectors);
+
+}  // namespace mips
+
+#endif  // MIPS_DATA_SYNTHETIC_H_

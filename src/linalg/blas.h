@@ -1,0 +1,51 @@
+// Level-1 BLAS-style kernels (dot, norms, axpy) plus the prefix/suffix dot
+// products used by the pruning indexes.
+//
+// These are the "sdot" building blocks from Section II-B of the paper.  The
+// implementations unroll into independent accumulator lanes so the compiler
+// vectorizes them with FMA; the naive single-accumulator loop is kept as
+// DotNaive for the naive-vs-blocked micro benchmark.
+
+#ifndef MIPS_LINALG_BLAS_H_
+#define MIPS_LINALG_BLAS_H_
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace mips {
+
+/// Inner product <x, y> over n elements (vectorized, 4 accumulator lanes).
+Real Dot(const Real* x, const Real* y, Index n);
+
+/// Reference single-accumulator inner product (intentionally unoptimized).
+Real DotNaive(const Real* x, const Real* y, Index n);
+
+/// Inner product over the first `h` coordinates only (FEXIPRO partial
+/// products).  Precondition: 0 <= h <= n for vectors of length n.
+inline Real DotPrefix(const Real* x, const Real* y, Index h) {
+  return Dot(x, y, h);
+}
+
+/// Euclidean norm ||x||_2.
+Real Nrm2(const Real* x, Index n);
+
+/// Squared Euclidean norm ||x||_2^2.
+Real Nrm2Squared(const Real* x, Index n);
+
+/// y += alpha * x.
+void Axpy(Real alpha, const Real* x, Real* y, Index n);
+
+/// x *= alpha.
+void Scale(Real alpha, Real* x, Index n);
+
+/// Per-row Euclidean norms of an n x f row-major block into out[0..n).
+void RowNorms(const Real* data, Index rows, Index cols, Real* out);
+
+/// Cosine of the angle between x and y; 0 if either vector is zero.
+/// The result is clamped to [-1, 1] so acos() is always safe.
+Real CosineSimilarity(const Real* x, const Real* y, Index n);
+
+}  // namespace mips
+
+#endif  // MIPS_LINALG_BLAS_H_

@@ -1,0 +1,83 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mips {
+
+namespace {
+constexpr std::size_t kAlignment = 64;  // one cache line / one zmm register
+}  // namespace
+
+void Matrix::Resize(Index rows, Index cols) {
+  assert(rows >= 0 && cols >= 0);
+  Free();
+  rows_ = rows;
+  cols_ = cols;
+  const std::size_t n = size();
+  if (n == 0) return;
+  data_ = static_cast<Real*>(
+      ::operator new[](n * sizeof(Real), std::align_val_t(kAlignment)));
+  std::memset(data_, 0, n * sizeof(Real));
+}
+
+void Matrix::Fill(Real value) { std::fill_n(data_, size(), value); }
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  // Simple cache-blocked transpose; good enough for the f x f and n x f
+  // matrices we transpose (FEXIPRO basis application, test helpers).
+  constexpr Index kBlock = 32;
+  for (Index rb = 0; rb < rows_; rb += kBlock) {
+    const Index rmax = std::min(rows_, rb + kBlock);
+    for (Index cb = 0; cb < cols_; cb += kBlock) {
+      const Index cmax = std::min(cols_, cb + kBlock);
+      for (Index r = rb; r < rmax; ++r) {
+        const Real* src = Row(r);
+        for (Index c = cb; c < cmax; ++c) {
+          t(c, r) = src[c];
+        }
+      }
+    }
+  }
+  return t;
+}
+
+Matrix Matrix::RowSlice(Index begin, Index end) const {
+  assert(begin >= 0 && begin <= end && end <= rows_);
+  Matrix out(end - begin, cols_);
+  if (!out.empty()) {
+    std::memcpy(out.data(), Row(begin),
+                out.size() * sizeof(Real));
+  }
+  return out;
+}
+
+bool Matrix::operator==(const Matrix& other) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  return std::equal(data_, data_ + size(), other.data_);
+}
+
+void Matrix::Free() {
+  if (data_ != nullptr) {
+    ::operator delete[](data_, std::align_val_t(kAlignment));
+    data_ = nullptr;
+  }
+  rows_ = 0;
+  cols_ = 0;
+}
+
+void Matrix::CopyFrom(const Matrix& other) {
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  const std::size_t n = size();
+  if (n == 0) {
+    data_ = nullptr;
+    return;
+  }
+  data_ = static_cast<Real*>(
+      ::operator new[](n * sizeof(Real), std::align_val_t(kAlignment)));
+  std::memcpy(data_, other.data_, n * sizeof(Real));
+}
+
+}  // namespace mips

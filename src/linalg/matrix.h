@@ -1,0 +1,150 @@
+// Dense row-major matrix with 64-byte-aligned storage.
+//
+// Every dataset in this library is a Matrix: users are |U| x f, items are
+// |I| x f, score blocks are b x |I|.  Row-major layout means each user/item
+// vector is contiguous, which is what the dot-product kernels, the GEMM
+// packing routines, and the per-row top-K extraction all assume.
+
+#ifndef MIPS_LINALG_MATRIX_H_
+#define MIPS_LINALG_MATRIX_H_
+
+#include <cassert>
+#include <cstddef>
+#include <new>
+#include <utility>
+
+#include "common/types.h"
+
+namespace mips {
+
+/// Owning dense row-major matrix of Real with cache-line-aligned storage.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() = default;
+
+  /// rows x cols matrix, zero-initialized.
+  Matrix(Index rows, Index cols) { Resize(rows, cols); }
+
+  ~Matrix() { Free(); }
+
+  Matrix(const Matrix& other) { CopyFrom(other); }
+  Matrix& operator=(const Matrix& other) {
+    if (this != &other) {
+      Free();
+      CopyFrom(other);
+    }
+    return *this;
+  }
+
+  Matrix(Matrix&& other) noexcept
+      : data_(other.data_), rows_(other.rows_), cols_(other.cols_) {
+    other.data_ = nullptr;
+    other.rows_ = 0;
+    other.cols_ = 0;
+  }
+  Matrix& operator=(Matrix&& other) noexcept {
+    if (this != &other) {
+      Free();
+      data_ = other.data_;
+      rows_ = other.rows_;
+      cols_ = other.cols_;
+      other.data_ = nullptr;
+      other.rows_ = 0;
+      other.cols_ = 0;
+    }
+    return *this;
+  }
+
+  /// Reallocates to rows x cols and zero-fills.  Invalidates row pointers.
+  void Resize(Index rows, Index cols);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  /// Total element count as a 64-bit value (rows*cols can exceed 2^31).
+  std::size_t size() const {
+    return static_cast<std::size_t>(rows_) * static_cast<std::size_t>(cols_);
+  }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  Real* data() { return data_; }
+  const Real* data() const { return data_; }
+
+  /// Pointer to the start of row r (contiguous, cols() elements).
+  Real* Row(Index r) {
+    assert(r >= 0 && r < rows_);
+    return data_ + static_cast<std::size_t>(r) * cols_;
+  }
+  const Real* Row(Index r) const {
+    assert(r >= 0 && r < rows_);
+    return data_ + static_cast<std::size_t>(r) * cols_;
+  }
+
+  Real& operator()(Index r, Index c) {
+    assert(c >= 0 && c < cols_);
+    return Row(r)[c];
+  }
+  Real operator()(Index r, Index c) const {
+    assert(c >= 0 && c < cols_);
+    return Row(r)[c];
+  }
+
+  /// Sets every element to `value`.
+  void Fill(Real value);
+
+  /// Returns the transposed matrix (cols x rows).
+  Matrix Transposed() const;
+
+  /// Copies a contiguous row range [begin, end) into a new matrix.
+  Matrix RowSlice(Index begin, Index end) const;
+
+  /// Exact element-wise equality (used by tests on deterministic paths).
+  bool operator==(const Matrix& other) const;
+
+ private:
+  void Free();
+  void CopyFrom(const Matrix& other);
+
+  Real* data_ = nullptr;
+  Index rows_ = 0;
+  Index cols_ = 0;
+};
+
+/// Non-owning read-only view of a contiguous row block of a Matrix.
+/// Used to run solvers over user subsets (OPTIMUS samples, thread chunks)
+/// without copying.
+class ConstRowBlock {
+ public:
+  ConstRowBlock() = default;
+  ConstRowBlock(const Matrix& m, Index begin, Index end)
+      : data_(m.Row(begin)), rows_(end - begin), cols_(m.cols()) {
+    assert(begin >= 0 && begin <= end && end <= m.rows());
+  }
+  /// View of an entire matrix.
+  explicit ConstRowBlock(const Matrix& m)
+      : data_(m.data()), rows_(m.rows()), cols_(m.cols()) {}
+  /// Raw view; `data` must point to rows*cols contiguous Reals.
+  ConstRowBlock(const Real* data, Index rows, Index cols)
+      : data_(data), rows_(rows), cols_(cols) {}
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  const Real* data() const { return data_; }
+  const Real* Row(Index r) const {
+    assert(r >= 0 && r < rows_);
+    return data_ + static_cast<std::size_t>(r) * cols_;
+  }
+  Real operator()(Index r, Index c) const {
+    assert(c >= 0 && c < cols_);
+    return Row(r)[c];
+  }
+
+ private:
+  const Real* data_ = nullptr;
+  Index rows_ = 0;
+  Index cols_ = 0;
+};
+
+}  // namespace mips
+
+#endif  // MIPS_LINALG_MATRIX_H_

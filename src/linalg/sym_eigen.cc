@@ -1,0 +1,130 @@
+#include "linalg/sym_eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "linalg/gemm.h"
+
+namespace mips {
+
+Matrix GramMatrix(const ConstRowBlock& p) {
+  // G = P^T P: transpose P once (f x n) and feed the NT kernel, whose rows
+  // are then the columns of P.
+  Matrix full(p.rows(), p.cols());
+  std::copy(p.data(), p.data() + full.size(), full.data());
+  const Matrix pt = full.Transposed();
+  Matrix g;
+  GemmNT(ConstRowBlock(pt), ConstRowBlock(pt), &g);
+  return g;
+}
+
+Status JacobiEigenSymmetric(const Matrix& a, EigenDecomposition* out,
+                            int max_sweeps) {
+  const Index n = a.rows();
+  if (a.cols() != n) {
+    return Status::InvalidArgument("matrix must be square");
+  }
+  if (n == 0) {
+    out->values.clear();
+    out->vectors = Matrix();
+    return Status::OK();
+  }
+
+  Real max_abs = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    max_abs = std::max(max_abs, std::abs(a.data()[i]));
+  }
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = i + 1; j < n; ++j) {
+      if (std::abs(a(i, j) - a(j, i)) > 1e-8 * std::max(Real{1}, max_abs)) {
+        return Status::FailedPrecondition("matrix is not symmetric");
+      }
+    }
+  }
+
+  Matrix work = a;
+  Matrix v(n, n);
+  for (Index i = 0; i < n; ++i) v(i, i) = 1;
+
+  const Real tol = 1e-14 * std::max(Real{1}, max_abs);
+  bool converged = false;
+  for (int sweep = 0; sweep < max_sweeps && !converged; ++sweep) {
+    Real off = 0;
+    for (Index p = 0; p < n; ++p) {
+      for (Index q = p + 1; q < n; ++q) off += std::abs(work(p, q));
+    }
+    if (off <= tol * n) {
+      converged = true;
+      break;
+    }
+    for (Index p = 0; p < n; ++p) {
+      for (Index q = p + 1; q < n; ++q) {
+        const Real apq = work(p, q);
+        if (std::abs(apq) <= tol) continue;
+        const Real app = work(p, p);
+        const Real aqq = work(q, q);
+        // Rotation angle zeroing work(p, q).
+        const Real tau = (aqq - app) / (2 * apq);
+        const Real t = (tau >= 0)
+                           ? Real{1} / (tau + std::sqrt(1 + tau * tau))
+                           : Real{-1} / (-tau + std::sqrt(1 + tau * tau));
+        const Real cos = Real{1} / std::sqrt(1 + t * t);
+        const Real sin = t * cos;
+
+        // A <- J^T A J on rows/columns p and q.
+        for (Index i = 0; i < n; ++i) {
+          const Real aip = work(i, p);
+          const Real aiq = work(i, q);
+          work(i, p) = cos * aip - sin * aiq;
+          work(i, q) = sin * aip + cos * aiq;
+        }
+        for (Index i = 0; i < n; ++i) {
+          const Real api = work(p, i);
+          const Real aqi = work(q, i);
+          work(p, i) = cos * api - sin * aqi;
+          work(q, i) = sin * api + cos * aqi;
+        }
+        // V <- V J (columns of V are eigenvectors during iteration).
+        for (Index i = 0; i < n; ++i) {
+          const Real vip = v(i, p);
+          const Real viq = v(i, q);
+          v(i, p) = cos * vip - sin * viq;
+          v(i, q) = sin * vip + cos * viq;
+        }
+      }
+    }
+  }
+  if (!converged) {
+    // Final check after the last sweep.
+    Real off = 0;
+    for (Index p = 0; p < n; ++p) {
+      for (Index q = p + 1; q < n; ++q) off += std::abs(work(p, q));
+    }
+    if (off > 1e-8 * std::max(Real{1}, max_abs) * n) {
+      return Status::Internal("Jacobi eigen-decomposition did not converge");
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue; emit eigenvectors as rows.
+  std::vector<Index> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<Real> diag(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) diag[static_cast<std::size_t>(i)] = work(i, i);
+  std::sort(order.begin(), order.end(), [&](Index x, Index y) {
+    return diag[static_cast<std::size_t>(x)] > diag[static_cast<std::size_t>(y)];
+  });
+
+  out->values.resize(static_cast<std::size_t>(n));
+  out->vectors.Resize(n, n);
+  for (Index r = 0; r < n; ++r) {
+    const Index src = order[static_cast<std::size_t>(r)];
+    out->values[static_cast<std::size_t>(r)] = diag[static_cast<std::size_t>(src)];
+    for (Index i = 0; i < n; ++i) {
+      out->vectors(r, i) = v(i, src);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace mips

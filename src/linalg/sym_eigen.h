@@ -1,0 +1,40 @@
+// Symmetric eigen-decomposition via cyclic Jacobi rotations.
+//
+// FEXIPRO's "S" transform needs the right singular vectors of the item
+// matrix P (n x f).  Since f <= 200 in every paper workload, we obtain them
+// from the eigen-decomposition of the f x f Gram matrix G = P^T P: the
+// eigenvectors of G are the right singular vectors of P and the singular
+// values are sqrt(eigenvalues).  Jacobi is simple, numerically robust for
+// symmetric matrices, and O(f^3) per sweep — negligible next to the MIPS
+// scoring cost.
+
+#ifndef MIPS_LINALG_SYM_EIGEN_H_
+#define MIPS_LINALG_SYM_EIGEN_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace mips {
+
+/// Result of a symmetric eigen-decomposition: A = V^T diag(values) V with
+/// row r of `vectors` holding the eigenvector for values[r].  Eigenvalues
+/// are sorted in descending order.
+struct EigenDecomposition {
+  std::vector<Real> values;
+  Matrix vectors;  // f x f; row r = eigenvector r (unit length)
+};
+
+/// Decomposes the symmetric matrix `a` (f x f).  Returns InvalidArgument if
+/// `a` is not square, FailedPrecondition if it is not symmetric within
+/// 1e-8 * max|a|, and Internal if Jacobi fails to converge in `max_sweeps`.
+Status JacobiEigenSymmetric(const Matrix& a, EigenDecomposition* out,
+                            int max_sweeps = 64);
+
+/// Gram matrix G = P^T P (f x f) of a row-major n x f matrix.
+Matrix GramMatrix(const ConstRowBlock& p);
+
+}  // namespace mips
+
+#endif  // MIPS_LINALG_SYM_EIGEN_H_

@@ -1,0 +1,32 @@
+// Umbrella header: include everything a typical application needs.
+//
+//   #include "mips.h"
+//
+// Fine-grained headers remain available for compile-time-conscious users
+// (each src/ subdirectory is an independent library; see README).
+
+#ifndef MIPS_MIPS_H_
+#define MIPS_MIPS_H_
+
+#include "common/status.h"        // IWYU pragma: export
+#include "common/thread_pool.h"   // IWYU pragma: export
+#include "common/types.h"         // IWYU pragma: export
+#include "core/approx_cluster.h"  // IWYU pragma: export
+#include "core/cost_model.h"      // IWYU pragma: export
+#include "core/dynamic_maximus.h"  // IWYU pragma: export
+#include "core/maximus.h"         // IWYU pragma: export
+#include "core/optimus.h"         // IWYU pragma: export
+#include "core/registry.h"        // IWYU pragma: export
+#include "core/serving.h"         // IWYU pragma: export
+#include "data/datasets.h"        // IWYU pragma: export
+#include "data/io.h"              // IWYU pragma: export
+#include "data/mf_trainer.h"      // IWYU pragma: export
+#include "data/synthetic.h"       // IWYU pragma: export
+#include "linalg/matrix.h"        // IWYU pragma: export
+#include "solvers/bmm.h"          // IWYU pragma: export
+#include "solvers/fexipro/fexipro.h"  // IWYU pragma: export
+#include "solvers/lemp/lemp.h"    // IWYU pragma: export
+#include "solvers/naive.h"        // IWYU pragma: export
+#include "topk/result.h"          // IWYU pragma: export
+
+#endif  // MIPS_MIPS_H_

@@ -1,0 +1,68 @@
+#include "solvers/bmm.h"
+
+#include <algorithm>
+
+#include "linalg/gemm.h"
+#include "topk/topk_block.h"
+
+namespace mips {
+
+Status BmmSolver::Prepare(const ConstRowBlock& users,
+                          const ConstRowBlock& items) {
+  if (users.cols() != items.cols()) {
+    return Status::InvalidArgument("user/item factor dimensions differ");
+  }
+  if (items.rows() <= 0) {
+    return Status::InvalidArgument("item set is empty");
+  }
+  users_ = users;
+  items_ = items;
+  prepared_users_ = users.rows();
+
+  if (options_.batch_rows > 0) {
+    resolved_batch_rows_ = options_.batch_rows;
+  } else {
+    const std::size_t row_bytes =
+        static_cast<std::size_t>(items.rows()) * sizeof(Real);
+    const std::size_t rows = options_.score_block_bytes / std::max<std::size_t>(
+                                                              1, row_bytes);
+    // Lower clamp 128: the GEMM needs enough rows per batch to amortize
+    // packing the full item panel even when one score row is very wide
+    // (GloVe-scale catalogs).
+    resolved_batch_rows_ = static_cast<Index>(
+        std::clamp<std::size_t>(rows, 128, 8192));
+  }
+  return Status::OK();
+}
+
+Status BmmSolver::TopKForUsers(Index k, std::span<const Index> user_ids,
+                               TopKResult* out) {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (items_.rows() <= 0) {
+    return Status::FailedPrecondition("Prepare was not called");
+  }
+  const Index q = static_cast<Index>(user_ids.size());
+  *out = TopKResult(q, k);
+  const Index n = items_.rows();
+  const Index f = items_.cols();
+  const Index batch = resolved_batch_rows_;
+
+  ParallelFor(pool_, q, [&](int64_t begin, int64_t end, int /*chunk*/) {
+    Matrix scores(std::min<Index>(batch, static_cast<Index>(end - begin)), n);
+    for (int64_t b = begin; b < end; b += batch) {
+      const Index m = static_cast<Index>(std::min<int64_t>(batch, end - b));
+      // Gather this batch's user rows so the GEMM sees a contiguous A.
+      const Matrix block = GatherRows(
+          users_, user_ids.subspan(static_cast<std::size_t>(b),
+                                   static_cast<std::size_t>(m)));
+      GemmNT(block.data(), m, items_.data(), n, f, /*alpha=*/1, /*beta=*/0,
+             scores.data(), scores.cols());
+      TopKFromScoreBlock(scores.data(), m, n, scores.cols(), k,
+                         /*item_offset=*/0, /*item_ids=*/nullptr, out,
+                         static_cast<Index>(b));
+    }
+  });
+  return Status::OK();
+}
+
+}  // namespace mips

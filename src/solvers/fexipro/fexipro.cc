@@ -1,0 +1,209 @@
+#include "solvers/fexipro/fexipro.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+#include "common/timer.h"
+#include "linalg/blas.h"
+#include "topk/topk_heap.h"
+
+namespace mips {
+
+// Per-query scratch buffers: the user vector in SVD space, in integer
+// space, and its derived norms/masses.
+struct FexiproSolver::QueryScratch {
+  std::vector<Real> svd_user;       // f
+  std::vector<Real> reduced_user;   // f + 1 (SIR only)
+  std::vector<int16_t> quant_user;  // int_dims
+  Real user_norm = 0;
+  Real tail_norm = 0;               // ||u'[h:f)||
+  Real user_scale = 1;
+  int64_t user_l1 = 0;
+};
+
+Status FexiproSolver::Prepare(const ConstRowBlock& users,
+                              const ConstRowBlock& items) {
+  if (users.cols() != items.cols()) {
+    return Status::InvalidArgument("user/item factor dimensions differ");
+  }
+  if (items.rows() <= 0) {
+    return Status::InvalidArgument("item set is empty");
+  }
+  users_ = users;
+  items_ = items;
+  prepared_users_ = users.rows();
+
+  WallTimer timer;
+  const Index n = items.rows();
+  const Index f = items.cols();
+
+  // --- S: SVD basis and transformed items. ---
+  auto svd = fexipro::ComputeSvdTransform(items, options_.svd_energy_fraction);
+  MIPS_RETURN_IF_ERROR(svd.status());
+  svd_ = std::move(svd.value());
+  Matrix transformed = fexipro::ApplySvdToRows(svd_, items);
+
+  // --- Sort by descending norm (orthogonal transform preserves norms). ---
+  std::vector<Real> raw_norms(static_cast<std::size_t>(n));
+  RowNorms(transformed.data(), n, f, raw_norms.data());
+  ids_.resize(static_cast<std::size_t>(n));
+  std::iota(ids_.begin(), ids_.end(), 0);
+  std::stable_sort(ids_.begin(), ids_.end(), [&](Index a, Index b) {
+    return raw_norms[static_cast<std::size_t>(a)] >
+           raw_norms[static_cast<std::size_t>(b)];
+  });
+  sorted_items_.Resize(n, f);
+  norms_.resize(static_cast<std::size_t>(n));
+  for (Index r = 0; r < n; ++r) {
+    const Index src = ids_[static_cast<std::size_t>(r)];
+    std::memcpy(sorted_items_.Row(r), transformed.Row(src),
+                static_cast<std::size_t>(f) * sizeof(Real));
+    norms_[static_cast<std::size_t>(r)] =
+        raw_norms[static_cast<std::size_t>(src)];
+  }
+
+  const Index h = svd_.head_dims;
+  tail_norms_.resize(static_cast<std::size_t>(n));
+  for (Index r = 0; r < n; ++r) {
+    tail_norms_[static_cast<std::size_t>(r)] =
+        Nrm2(sorted_items_.Row(r) + h, f - h);
+  }
+
+  // --- R (SIR only) and I: integer-space items. ---
+  if (options_.use_reduction) {
+    reduction_ = fexipro::MakeReduction(ConstRowBlock(sorted_items_));
+    int_dims_ = reduction_.out_dims();
+    Matrix reduced(n, int_dims_);
+    for (Index r = 0; r < n; ++r) {
+      reduction_.ApplyToItem(sorted_items_.Row(r), reduced.Row(r));
+    }
+    item_quantizer_ =
+        fexipro::MakeQuantizer(fexipro::MaxAbsCoordinate(ConstRowBlock(reduced)));
+    quantized_items_.resize(static_cast<std::size_t>(n) * int_dims_);
+    item_l1_.resize(static_cast<std::size_t>(n));
+    for (Index r = 0; r < n; ++r) {
+      int16_t* q = quantized_items_.data() +
+                   static_cast<std::size_t>(r) * int_dims_;
+      item_quantizer_.Quantize(reduced.Row(r), int_dims_, q);
+      item_l1_[static_cast<std::size_t>(r)] = fexipro::L1Int16(q, int_dims_);
+    }
+  } else {
+    int_dims_ = f;
+    item_quantizer_ = fexipro::MakeQuantizer(
+        fexipro::MaxAbsCoordinate(ConstRowBlock(sorted_items_)));
+    quantized_items_.resize(static_cast<std::size_t>(n) * int_dims_);
+    item_l1_.resize(static_cast<std::size_t>(n));
+    for (Index r = 0; r < n; ++r) {
+      int16_t* q = quantized_items_.data() +
+                   static_cast<std::size_t>(r) * int_dims_;
+      item_quantizer_.Quantize(sorted_items_.Row(r), int_dims_, q);
+      item_l1_[static_cast<std::size_t>(r)] = fexipro::L1Int16(q, int_dims_);
+    }
+  }
+  stage_timer_.Add("construction", timer.Seconds());
+  return Status::OK();
+}
+
+Index FexiproSolver::QueryOneUser(const Real* user, Index k,
+                                  QueryScratch* s, TopKEntry* out_row) const {
+  const Index n = sorted_items_.rows();
+  const Index f = sorted_items_.cols();
+  const Index h = svd_.head_dims;
+
+  // Transform the query once: SVD rotation, tail norm, integer image.
+  s->svd_user.resize(static_cast<std::size_t>(f));
+  svd_.Apply(user, s->svd_user.data());
+  const Real* su = s->svd_user.data();
+  s->user_norm = Nrm2(su, f);
+  s->tail_norm = Nrm2(su + h, f - h);
+
+  const Real* int_source = su;
+  if (options_.use_reduction) {
+    s->reduced_user.resize(static_cast<std::size_t>(int_dims_));
+    reduction_.ApplyToQuery(su, s->reduced_user.data());
+    int_source = s->reduced_user.data();
+  }
+  s->quant_user.resize(static_cast<std::size_t>(int_dims_));
+  Real max_abs = 0;
+  for (Index d = 0; d < int_dims_; ++d) {
+    max_abs = std::max(max_abs, std::abs(int_source[d]));
+  }
+  const fexipro::Int16Quantizer uq = fexipro::MakeQuantizer(max_abs);
+  s->user_scale = uq.scale;
+  uq.Quantize(int_source, int_dims_, s->quant_user.data());
+  s->user_l1 = fexipro::L1Int16(s->quant_user.data(), int_dims_);
+
+  TopKHeap heap(k);
+  Index exact = 0;
+  for (Index pos = 0; pos < n; ++pos) {
+    const Real min_h = heap.MinScore();
+    // (1) Length bound: the scan order is norm-descending, so the first
+    // failing item ends the entire query.
+    if (heap.full() && norms_[static_cast<std::size_t>(pos)] * s->user_norm <=
+                           min_h) {
+      break;
+    }
+    const Real* item = sorted_items_.Row(pos);
+    if (heap.full()) {
+      // (2) Integer bound.
+      if (options_.use_int_bound) {
+        const int16_t* qi = quantized_items_.data() +
+                            static_cast<std::size_t>(pos) * int_dims_;
+        const int64_t idot = fexipro::DotInt16(s->quant_user.data(), qi,
+                                               int_dims_);
+        const Real int_bound = fexipro::QuantizedUpperBound(
+            idot, s->user_l1, item_l1_[static_cast<std::size_t>(pos)],
+            int_dims_, s->user_scale, item_quantizer_.scale);
+        if (int_bound <= min_h) continue;
+      }
+      // (3) SVD partial product + Cauchy-Schwarz tail.
+      const Real head = Dot(su, item, h);
+      if (options_.use_svd_bound) {
+        const Real svd_bound =
+            head + s->tail_norm * tail_norms_[static_cast<std::size_t>(pos)];
+        if (svd_bound <= min_h) continue;
+      }
+      // (4) Exact score.
+      const Real score = head + Dot(su + h, item + h, f - h);
+      ++exact;
+      heap.Push(ids_[static_cast<std::size_t>(pos)], score);
+    } else {
+      ++exact;
+      heap.Push(ids_[static_cast<std::size_t>(pos)], Dot(su, item, f));
+    }
+  }
+  heap.ExtractDescending(out_row);
+  return exact;
+}
+
+Status FexiproSolver::TopKForUsers(Index k, std::span<const Index> user_ids,
+                                   TopKResult* out) {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (sorted_items_.empty()) {
+    return Status::FailedPrecondition("Prepare was not called");
+  }
+  const Index q = static_cast<Index>(user_ids.size());
+  *out = TopKResult(q, k);
+  if (q == 0) return Status::OK();
+
+  std::atomic<int64_t> total_exact{0};
+  ParallelFor(pool_, q, [&](int64_t begin, int64_t end, int /*chunk*/) {
+    QueryScratch scratch;
+    int64_t exact = 0;
+    for (int64_t r = begin; r < end; ++r) {
+      const Real* user = users_.Row(user_ids[static_cast<std::size_t>(r)]);
+      exact += QueryOneUser(user, k, &scratch,
+                            out->Row(static_cast<Index>(r)));
+    }
+    total_exact.fetch_add(exact, std::memory_order_relaxed);
+  });
+  last_exact_fraction_ =
+      static_cast<double>(total_exact.load()) /
+      (static_cast<double>(q) * static_cast<double>(items_.rows()));
+  return Status::OK();
+}
+
+}  // namespace mips

@@ -1,0 +1,145 @@
+#include "solvers/fexipro/transforms.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/blas.h"
+#include "linalg/gemm.h"
+#include "linalg/sym_eigen.h"
+
+namespace mips {
+namespace fexipro {
+
+void SvdTransform::Apply(const Real* in, Real* out) const {
+  Gemv(basis.data(), basis.rows(), basis.cols(), in, out);
+}
+
+StatusOr<SvdTransform> ComputeSvdTransform(const ConstRowBlock& items,
+                                           Real energy_fraction) {
+  if (items.rows() <= 0 || items.cols() <= 0) {
+    return Status::InvalidArgument("item matrix is empty");
+  }
+  if (!(energy_fraction > 0 && energy_fraction <= 1)) {
+    return Status::InvalidArgument("energy_fraction must be in (0, 1]");
+  }
+  const Matrix gram = GramMatrix(items);
+  EigenDecomposition eigen;
+  MIPS_RETURN_IF_ERROR(JacobiEigenSymmetric(gram, &eigen));
+
+  SvdTransform t;
+  t.basis = std::move(eigen.vectors);
+
+  // Eigenvalues of P^T P are squared singular values of P; clamp tiny
+  // negatives from round-off.
+  Real total = 0;
+  for (Real& v : eigen.values) {
+    v = std::max(Real{0}, v);
+    total += v;
+  }
+  const Index f = t.basis.rows();
+  if (total <= 0) {
+    t.head_dims = f;
+    t.captured_energy = 1;
+    return t;
+  }
+  Real cum = 0;
+  t.head_dims = f;
+  for (Index r = 0; r < f; ++r) {
+    cum += eigen.values[static_cast<std::size_t>(r)];
+    if (cum / total >= energy_fraction) {
+      t.head_dims = r + 1;
+      break;
+    }
+  }
+  t.captured_energy = cum / total;
+  return t;
+}
+
+Matrix ApplySvdToRows(const SvdTransform& t, const ConstRowBlock& in) {
+  // out = in * basis^T: transformed coordinate r of a row v is
+  // basis.Row(r) . v, which is exactly the NT GEMM form.
+  Matrix out;
+  GemmNT(in, ConstRowBlock(t.basis), &out);
+  return out;
+}
+
+void Int16Quantizer::Quantize(const Real* in, Index n, int16_t* out) const {
+  for (Index i = 0; i < n; ++i) {
+    const Real scaled = std::nearbyint(scale * in[i]);
+    out[i] = static_cast<int16_t>(
+        std::clamp<Real>(scaled, -32767, 32767));
+  }
+}
+
+Int16Quantizer MakeQuantizer(Real max_abs) {
+  Int16Quantizer q;
+  q.scale = max_abs > 0 ? Real{32767} / max_abs : Real{1};
+  return q;
+}
+
+Real MaxAbsCoordinate(const ConstRowBlock& block) {
+  Real max_abs = 0;
+  const std::size_t total =
+      static_cast<std::size_t>(block.rows()) * block.cols();
+  for (std::size_t i = 0; i < total; ++i) {
+    max_abs = std::max(max_abs, std::abs(block.data()[i]));
+  }
+  return max_abs;
+}
+
+int64_t DotInt16(const int16_t* a, const int16_t* b, Index n) {
+  int64_t acc = 0;
+  for (Index i = 0; i < n; ++i) {
+    acc += static_cast<int32_t>(a[i]) * static_cast<int32_t>(b[i]);
+  }
+  return acc;
+}
+
+int64_t L1Int16(const int16_t* a, Index n) {
+  int64_t acc = 0;
+  for (Index i = 0; i < n; ++i) acc += std::abs(static_cast<int32_t>(a[i]));
+  return acc;
+}
+
+Real QuantizedUpperBound(int64_t int_dot, int64_t l1_a, int64_t l1_b, Index n,
+                         Real scale_a, Real scale_b) {
+  const Real numer = static_cast<Real>(int_dot) +
+                     Real{0.5} * static_cast<Real>(l1_a + l1_b) +
+                     Real{0.25} * static_cast<Real>(n);
+  return numer / (scale_a * scale_b);
+}
+
+void ReductionTransform::ApplyToItem(const Real* in, Real* out) const {
+  const Index f = in_dims();
+  for (Index d = 0; d < f; ++d) {
+    out[d] = in[d] + shift[static_cast<std::size_t>(d)];
+  }
+  out[f] = 1;
+}
+
+void ReductionTransform::ApplyToQuery(const Real* in, Real* out) const {
+  const Index f = in_dims();
+  Real correction = 0;
+  for (Index d = 0; d < f; ++d) {
+    out[d] = in[d];
+    correction += in[d] * shift[static_cast<std::size_t>(d)];
+  }
+  out[f] = -correction;
+}
+
+ReductionTransform MakeReduction(const ConstRowBlock& items) {
+  ReductionTransform t;
+  const Index f = items.cols();
+  t.shift.assign(static_cast<std::size_t>(f), 0);
+  for (Index r = 0; r < items.rows(); ++r) {
+    const Real* row = items.Row(r);
+    for (Index d = 0; d < f; ++d) {
+      auto& s = t.shift[static_cast<std::size_t>(d)];
+      s = std::max(s, -row[d]);
+    }
+  }
+  return t;
+}
+
+}  // namespace fexipro
+}  // namespace mips

@@ -1,0 +1,97 @@
+// FEXIPRO's three input transforms (Li, Chan, Yiu, Mamoulis — SIGMOD'17).
+//
+//  S — SVD: rotate user/item vectors into the basis of the item matrix's
+//      right singular vectors, concentrating inner-product "energy" in the
+//      leading coordinates so a partial (head) product plus a Cauchy-
+//      Schwarz tail bound prunes candidates cheaply.  Orthogonality keeps
+//      inner products exact.
+//  I — Integer quantization: scale vectors so coordinates fit int16 and
+//      bound the true product with an integer dot plus a rounding
+//      correction (valid upper bound; see QuantizedUpperBound).
+//  R — Reduction: shift item coordinates non-negative and append one
+//      dimension so inner products are preserved:
+//        item  p -> [p + m, 1],  query q -> [q, -q.m]   gives q'.p' = q.p.
+
+#ifndef MIPS_SOLVERS_FEXIPRO_TRANSFORMS_H_
+#define MIPS_SOLVERS_FEXIPRO_TRANSFORMS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "linalg/matrix.h"
+
+namespace mips {
+namespace fexipro {
+
+/// Orthogonal basis from the item matrix's right singular vectors.
+struct SvdTransform {
+  /// f x f; row r is the singular vector with the r-th largest singular
+  /// value, so transformed coordinate r = basis.Row(r) . v.
+  Matrix basis;
+  /// Number of leading dimensions holding >= the requested energy share.
+  Index head_dims = 0;
+  /// Fraction of total squared singular value mass in the head.
+  Real captured_energy = 0;
+
+  /// out[0..f) = basis * in (both length f).
+  void Apply(const Real* in, Real* out) const;
+};
+
+/// Computes the transform from the item matrix (n x f).  `energy_fraction`
+/// in (0, 1] picks head_dims as the smallest prefix capturing that share
+/// of squared singular values.
+StatusOr<SvdTransform> ComputeSvdTransform(const ConstRowBlock& items,
+                                           Real energy_fraction);
+
+/// Applies `t` to every row of `in` (n x f) -> n x f output.
+Matrix ApplySvdToRows(const SvdTransform& t, const ConstRowBlock& in);
+
+/// Symmetric int16 quantizer: q = round(scale * x).
+struct Int16Quantizer {
+  Real scale = 1;
+
+  void Quantize(const Real* in, Index n, int16_t* out) const;
+};
+
+/// Quantizer whose scale maps `max_abs` to int16 max (32767).
+Int16Quantizer MakeQuantizer(Real max_abs);
+
+/// Largest |coordinate| in an n x f block.
+Real MaxAbsCoordinate(const ConstRowBlock& block);
+
+/// Integer dot product with 64-bit accumulation.
+int64_t DotInt16(const int16_t* a, const int16_t* b, Index n);
+
+/// Sum of |a_i| with 64-bit accumulation.
+int64_t L1Int16(const int16_t* a, Index n);
+
+/// Upper bound on the exact real dot product of the two pre-quantization
+/// vectors, given their integer dot, L1 masses, dimension, and the two
+/// quantizer scales.  Derivation: with q = round(s*x), s*x = q + d where
+/// |d| <= 1/2, so sum (s_a a)(s_b b) <= q_a.q_b + (L1_a + L1_b)/2 + n/4.
+Real QuantizedUpperBound(int64_t int_dot, int64_t l1_a, int64_t l1_b, Index n,
+                         Real scale_a, Real scale_b);
+
+/// The "R" reduction: per-dimension shifts making items non-negative plus
+/// the appended constant dimension.
+struct ReductionTransform {
+  /// Per-dimension shift m_d = max(0, -min_i item[i][d]).
+  std::vector<Real> shift;
+
+  Index in_dims() const { return static_cast<Index>(shift.size()); }
+  Index out_dims() const { return in_dims() + 1; }
+
+  /// item -> [item + m, 1]  (all coordinates non-negative).
+  void ApplyToItem(const Real* in, Real* out) const;
+  /// query -> [query, -query.m]  (preserves inner products with items).
+  void ApplyToQuery(const Real* in, Real* out) const;
+};
+
+/// Builds the reduction from an item block (n x f).
+ReductionTransform MakeReduction(const ConstRowBlock& items);
+
+}  // namespace fexipro
+}  // namespace mips
+
+#endif  // MIPS_SOLVERS_FEXIPRO_TRANSFORMS_H_

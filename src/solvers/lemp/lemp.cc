@@ -1,0 +1,268 @@
+#include "solvers/lemp/lemp.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+
+#include "common/timer.h"
+#include "linalg/blas.h"
+#include "topk/topk_heap.h"
+
+namespace mips {
+
+using lemp::Bucket;
+using lemp::BucketAlgorithm;
+
+namespace {
+
+// Per-user scratch for incremental pruning: the user's suffix norms at the
+// shared checkpoint dimensions.
+struct UserScratch {
+  std::vector<Real> suffix_norms;
+
+  void Compute(const Real* user, Index f,
+               const std::vector<Index>& checkpoints) {
+    suffix_norms.resize(checkpoints.size());
+    for (std::size_t c = 0; c < checkpoints.size(); ++c) {
+      const Index start = checkpoints[c];
+      suffix_norms[c] = Nrm2(user + start, f - start);
+    }
+  }
+};
+
+}  // namespace
+
+Status LempSolver::Prepare(const ConstRowBlock& users,
+                           const ConstRowBlock& items) {
+  if (users.cols() != items.cols()) {
+    return Status::InvalidArgument("user/item factor dimensions differ");
+  }
+  if (items.rows() <= 0) {
+    return Status::InvalidArgument("item set is empty");
+  }
+  users_ = users;
+  items_ = items;
+  prepared_users_ = users.rows();
+
+  WallTimer timer;
+  sorted_ = lemp::SortItemsByNorm(items, options_.num_checkpoints);
+  Index bucket_size = options_.bucket_size;
+  if (bucket_size <= 0) {
+    bucket_size = std::clamp<Index>(items.rows() / 64, 64, 1024);
+  }
+  buckets_ = lemp::MakeBuckets(sorted_, bucket_size);
+  bucket_algorithms_.assign(buckets_.size(),
+                            BucketAlgorithm::kIncremental);
+  if (options_.forced_algorithm >= 0) {
+    const auto forced = static_cast<BucketAlgorithm>(options_.forced_algorithm);
+    bucket_algorithms_.assign(buckets_.size(), forced);
+    calibrated_ = true;
+  } else {
+    calibrated_ = false;
+  }
+  calibrated_k_ = -1;
+  stage_timer_.Add("construction", timer.Seconds());
+  return Status::OK();
+}
+
+Index LempSolver::QueryOneUser(
+    const Real* user, Real user_norm, Index k,
+    const std::vector<BucketAlgorithm>& algorithms,
+    TopKEntry* out_row) const {
+  const Index f = items_.cols();
+  const Index ncp = static_cast<Index>(sorted_.checkpoint_dims.size());
+  TopKHeap heap(k);
+  UserScratch scratch;
+  scratch.Compute(user, f, sorted_.checkpoint_dims);
+
+  Index scanned = 0;
+  for (std::size_t bi = 0; bi < buckets_.size(); ++bi) {
+    const Bucket& bucket = buckets_[bi];
+    const Real min_h = heap.MinScore();
+    // Bucket-level termination: every item here (and in all later buckets)
+    // has norm <= max_norm, so u.i <= ||u|| * max_norm.
+    if (heap.full() && bucket.max_norm * user_norm <= min_h) break;
+
+    const BucketAlgorithm algorithm = algorithms[bi];
+    // Coordinate-range prune: may skip this bucket entirely (but not the
+    // later ones — the coordinate bound is not monotone across buckets).
+    if (algorithm == BucketAlgorithm::kCoord && heap.full() &&
+        CoordBucketBound(user, bucket, f) <= min_h) {
+      continue;
+    }
+    for (Index pos = bucket.begin; pos < bucket.end; ++pos) {
+      const Real norm = sorted_.norms[static_cast<std::size_t>(pos)];
+      if (algorithm != BucketAlgorithm::kNaive && heap.full() &&
+          norm * user_norm <= heap.MinScore()) {
+        // Items are norm-sorted inside the bucket too: nothing later in
+        // this bucket can qualify.
+        break;
+      }
+      ++scanned;
+      const Real* v = sorted_.vectors.Row(pos);
+      const Index id = sorted_.ids[static_cast<std::size_t>(pos)];
+
+      if (algorithm == BucketAlgorithm::kIncremental && heap.full()) {
+        // Partial inner products with Cauchy-Schwarz tail bounds.
+        Real partial = 0;
+        Index start = 0;
+        bool pruned = false;
+        for (Index c = 0; c < ncp; ++c) {
+          const Index dim = sorted_.checkpoint_dims[static_cast<std::size_t>(c)];
+          partial += Dot(user + start, v + start, dim - start);
+          start = dim;
+          const Real tail =
+              scratch.suffix_norms[static_cast<std::size_t>(c)] *
+              sorted_.suffix_norms[static_cast<std::size_t>(pos) * ncp + c];
+          if (partial + tail <= heap.MinScore()) {
+            pruned = true;
+            break;
+          }
+        }
+        if (pruned) continue;
+        partial += Dot(user + start, v + start, f - start);
+        heap.Push(id, partial);
+      } else {
+        heap.Push(id, Dot(user, v, f));
+      }
+    }
+  }
+  heap.ExtractDescending(out_row);
+  return scanned;
+}
+
+void LempSolver::Calibrate(Index k, std::span<const Index> user_ids) {
+  const std::size_t num_buckets = buckets_.size();
+  // Accumulated cost and trial count per (bucket, algorithm).
+  std::vector<double> cost(num_buckets * lemp::kNumBucketAlgorithms, 0.0);
+  std::vector<int> trials(num_buckets * lemp::kNumBucketAlgorithms, 0);
+
+  const Index sample = std::min<Index>(options_.calibration_users,
+                                       static_cast<Index>(user_ids.size()));
+  if (sample <= 0) return;
+  const Index f = items_.cols();
+  const Index ncp = static_cast<Index>(sorted_.checkpoint_dims.size());
+  std::vector<TopKEntry> row(static_cast<std::size_t>(k));
+
+  for (Index s = 0; s < sample; ++s) {
+    // Spread calibration users across the query batch.
+    const std::size_t idx =
+        static_cast<std::size_t>(s) * user_ids.size() /
+        static_cast<std::size_t>(sample);
+    const Real* user = users_.Row(user_ids[idx]);
+    const Real user_norm = Nrm2(user, f);
+    UserScratch scratch;
+    scratch.Compute(user, f, sorted_.checkpoint_dims);
+
+    for (int a = 0; a < lemp::kNumBucketAlgorithms; ++a) {
+      const auto algorithm = static_cast<BucketAlgorithm>(a);
+      TopKHeap heap(k);
+      for (std::size_t bi = 0; bi < num_buckets; ++bi) {
+        const Bucket& bucket = buckets_[bi];
+        if (heap.full() && bucket.max_norm * user_norm <= heap.MinScore()) {
+          break;
+        }
+        WallTimer bucket_timer;
+        if (algorithm == BucketAlgorithm::kCoord && heap.full() &&
+            CoordBucketBound(user, bucket, f) <= heap.MinScore()) {
+          const std::size_t skip_slot =
+              bi * lemp::kNumBucketAlgorithms + static_cast<std::size_t>(a);
+          cost[skip_slot] += bucket_timer.Seconds();
+          ++trials[skip_slot];
+          continue;
+        }
+        for (Index pos = bucket.begin; pos < bucket.end; ++pos) {
+          const Real norm = sorted_.norms[static_cast<std::size_t>(pos)];
+          if (algorithm != BucketAlgorithm::kNaive && heap.full() &&
+              norm * user_norm <= heap.MinScore()) {
+            break;
+          }
+          const Real* v = sorted_.vectors.Row(pos);
+          const Index id = sorted_.ids[static_cast<std::size_t>(pos)];
+          if (algorithm == BucketAlgorithm::kIncremental && heap.full()) {
+            Real partial = 0;
+            Index start = 0;
+            bool pruned = false;
+            for (Index c = 0; c < ncp; ++c) {
+              const Index dim =
+                  sorted_.checkpoint_dims[static_cast<std::size_t>(c)];
+              partial += Dot(user + start, v + start, dim - start);
+              start = dim;
+              const Real tail =
+                  scratch.suffix_norms[static_cast<std::size_t>(c)] *
+                  sorted_.suffix_norms[static_cast<std::size_t>(pos) * ncp + c];
+              if (partial + tail <= heap.MinScore()) {
+                pruned = true;
+                break;
+              }
+            }
+            if (pruned) continue;
+            partial += Dot(user + start, v + start, f - start);
+            heap.Push(id, partial);
+          } else {
+            heap.Push(id, Dot(user, v, f));
+          }
+        }
+        const std::size_t slot = bi * lemp::kNumBucketAlgorithms +
+                                 static_cast<std::size_t>(a);
+        cost[slot] += bucket_timer.Seconds();
+        ++trials[slot];
+      }
+      heap.ExtractDescending(row.data());
+    }
+  }
+
+  for (std::size_t bi = 0; bi < num_buckets; ++bi) {
+    int best = static_cast<int>(BucketAlgorithm::kIncremental);
+    double best_cost = std::numeric_limits<double>::max();
+    for (int a = 0; a < lemp::kNumBucketAlgorithms; ++a) {
+      const std::size_t slot =
+          bi * lemp::kNumBucketAlgorithms + static_cast<std::size_t>(a);
+      if (trials[slot] == 0) continue;
+      const double mean = cost[slot] / trials[slot];
+      if (mean < best_cost) {
+        best_cost = mean;
+        best = a;
+      }
+    }
+    bucket_algorithms_[bi] = static_cast<BucketAlgorithm>(best);
+  }
+}
+
+Status LempSolver::TopKForUsers(Index k, std::span<const Index> user_ids,
+                                TopKResult* out) {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (buckets_.empty()) {
+    return Status::FailedPrecondition("Prepare was not called");
+  }
+  const Index q = static_cast<Index>(user_ids.size());
+  *out = TopKResult(q, k);
+  if (q == 0) return Status::OK();
+
+  if (options_.forced_algorithm < 0 && (!calibrated_ || calibrated_k_ != k)) {
+    WallTimer timer;
+    Calibrate(k, user_ids);
+    calibrated_ = true;
+    calibrated_k_ = k;
+    stage_timer_.Add("calibration", timer.Seconds());
+  }
+
+  const Index f = items_.cols();
+  std::atomic<int64_t> total_scanned{0};
+  ParallelFor(pool_, q, [&](int64_t begin, int64_t end, int /*chunk*/) {
+    int64_t scanned = 0;
+    for (int64_t r = begin; r < end; ++r) {
+      const Real* user = users_.Row(user_ids[static_cast<std::size_t>(r)]);
+      const Real user_norm = Nrm2(user, f);
+      scanned += QueryOneUser(user, user_norm, k, bucket_algorithms_,
+                              out->Row(static_cast<Index>(r)));
+    }
+    total_scanned.fetch_add(scanned, std::memory_order_relaxed);
+  });
+  last_scan_fraction_ =
+      static_cast<double>(total_scanned.load()) /
+      (static_cast<double>(q) * static_cast<double>(items_.rows()));
+  return Status::OK();
+}
+
+}  // namespace mips

@@ -1,0 +1,84 @@
+// LEMP: fast retrieval of large entries in a matrix product.
+//
+// Reproduction of the LEMP index (Teflioudi, Gemulla, Mykytiuk, SIGMOD'15;
+// extended study TODS'16), the state-of-the-art exact MIPS baseline the
+// paper benchmarks as LEMP-LI.  The structure:
+//
+//   1. Sort items by length, partition into buckets of similar magnitude.
+//   2. Per user, walk buckets in descending-length order; terminate when
+//      max_norm(bucket) * ||u|| <= min(H) (every later bucket is smaller).
+//   3. Inside a bucket, retrieve candidates with one of several algorithms
+//      (naive dots / length pruning / incremental Cauchy-Schwarz pruning);
+//      LEMP picks the algorithm per bucket by measuring a sample of users.
+//
+// The sample-driven per-bucket adaptivity is deliberately preserved: it is
+// what makes LEMP's runtime estimates high-variance under OPTIMUS's user
+// sampling (paper Figure 7).
+
+#ifndef MIPS_SOLVERS_LEMP_LEMP_H_
+#define MIPS_SOLVERS_LEMP_LEMP_H_
+
+#include <vector>
+
+#include "solvers/lemp/bucket.h"
+#include "solvers/solver.h"
+
+namespace mips {
+
+/// Tuning knobs for the LEMP reproduction.
+struct LempOptions {
+  /// Items per bucket; 0 = auto (n/64 clamped to [64, 1024]).
+  Index bucket_size = 0;
+  /// Users used to calibrate the per-bucket algorithm choice.
+  Index calibration_users = 48;
+  /// Number of incremental-pruning checkpoints per vector.
+  Index num_checkpoints = 4;
+  /// Fix every bucket to one algorithm (disables adaptivity); used by the
+  /// lesion tests.  -1 = adaptive (default); 0..3 = the BucketAlgorithm
+  /// enumerators (NAIVE, LENGTH, INCR, COORD).
+  int forced_algorithm = -1;
+};
+
+/// The LEMP-LI exact MIPS index.
+class LempSolver : public MipsSolver {
+ public:
+  explicit LempSolver(const LempOptions& options = {}) : options_(options) {}
+
+  std::string name() const override { return "lemp"; }
+  bool batches_users() const override { return false; }
+
+  Status Prepare(const ConstRowBlock& users,
+                 const ConstRowBlock& items) override;
+  Status TopKForUsers(Index k, std::span<const Index> user_ids,
+                      TopKResult* out) override;
+
+  /// Buckets after Prepare (exposed for tests and the lesion bench).
+  const std::vector<lemp::Bucket>& buckets() const { return buckets_; }
+  /// Average fraction of items actually scanned over the last query batch
+  /// (1.0 = no pruning).
+  double last_scan_fraction() const { return last_scan_fraction_; }
+
+ private:
+  // Runs one user's query; returns the number of item positions scanned.
+  Index QueryOneUser(const Real* user, Real user_norm, Index k,
+                     const std::vector<lemp::BucketAlgorithm>& algorithms,
+                     TopKEntry* out_row) const;
+
+  // Measures per-bucket algorithm costs on the calibration users drawn
+  // from `user_ids` and fills bucket_algorithms_.
+  void Calibrate(Index k, std::span<const Index> user_ids);
+
+  LempOptions options_;
+  ConstRowBlock users_;
+  ConstRowBlock items_;
+  lemp::SortedItems sorted_;
+  std::vector<lemp::Bucket> buckets_;
+  std::vector<lemp::BucketAlgorithm> bucket_algorithms_;
+  bool calibrated_ = false;
+  Index calibrated_k_ = -1;
+  mutable double last_scan_fraction_ = 0;
+};
+
+}  // namespace mips
+
+#endif  // MIPS_SOLVERS_LEMP_LEMP_H_

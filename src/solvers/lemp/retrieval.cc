@@ -1,0 +1,95 @@
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <numeric>
+
+#include "linalg/blas.h"
+#include "solvers/lemp/bucket.h"
+
+namespace mips {
+namespace lemp {
+
+SortedItems SortItemsByNorm(const ConstRowBlock& items,
+                            Index num_checkpoints) {
+  const Index n = items.rows();
+  const Index f = items.cols();
+  SortedItems sorted;
+
+  std::vector<Real> raw_norms(static_cast<std::size_t>(n));
+  RowNorms(items.data(), n, f, raw_norms.data());
+
+  sorted.ids.resize(static_cast<std::size_t>(n));
+  std::iota(sorted.ids.begin(), sorted.ids.end(), 0);
+  std::stable_sort(sorted.ids.begin(), sorted.ids.end(),
+                   [&](Index a, Index b) {
+                     return raw_norms[static_cast<std::size_t>(a)] >
+                            raw_norms[static_cast<std::size_t>(b)];
+                   });
+
+  sorted.vectors.Resize(n, f);
+  sorted.norms.resize(static_cast<std::size_t>(n));
+  for (Index r = 0; r < n; ++r) {
+    const Index src = sorted.ids[static_cast<std::size_t>(r)];
+    std::memcpy(sorted.vectors.Row(r), items.Row(src),
+                static_cast<std::size_t>(f) * sizeof(Real));
+    sorted.norms[static_cast<std::size_t>(r)] =
+        raw_norms[static_cast<std::size_t>(src)];
+  }
+
+  // Checkpoint dimensions: num_checkpoints evenly spaced cut points in
+  // (0, f), deduplicated (small f can collapse some).
+  for (Index c = 1; c <= num_checkpoints; ++c) {
+    const Index dim = static_cast<Index>(
+        static_cast<int64_t>(f) * c / (num_checkpoints + 1));
+    if (dim > 0 && dim < f &&
+        (sorted.checkpoint_dims.empty() ||
+         sorted.checkpoint_dims.back() != dim)) {
+      sorted.checkpoint_dims.push_back(dim);
+    }
+  }
+
+  const Index ncp = static_cast<Index>(sorted.checkpoint_dims.size());
+  sorted.suffix_norms.resize(static_cast<std::size_t>(n) * ncp);
+  for (Index r = 0; r < n; ++r) {
+    const Real* v = sorted.vectors.Row(r);
+    for (Index c = 0; c < ncp; ++c) {
+      const Index start = sorted.checkpoint_dims[static_cast<std::size_t>(c)];
+      sorted.suffix_norms[static_cast<std::size_t>(r) * ncp + c] =
+          Nrm2(v + start, f - start);
+    }
+  }
+  return sorted;
+}
+
+std::vector<Bucket> MakeBuckets(const SortedItems& sorted, Index bucket_size) {
+  const Index n = sorted.vectors.rows();
+  const Index f = sorted.vectors.cols();
+  std::vector<Bucket> buckets;
+  if (n == 0 || bucket_size <= 0) return buckets;
+  for (Index begin = 0; begin < n; begin += bucket_size) {
+    Bucket b;
+    b.begin = begin;
+    b.end = std::min<Index>(n, begin + bucket_size);
+    b.max_norm = sorted.norms[static_cast<std::size_t>(b.begin)];
+    b.min_norm = sorted.norms[static_cast<std::size_t>(b.end - 1)];
+    // Per-dimension coordinate ranges for the kCoord bound.
+    b.coord_min.assign(static_cast<std::size_t>(f),
+                       std::numeric_limits<Real>::max());
+    b.coord_max.assign(static_cast<std::size_t>(f),
+                       std::numeric_limits<Real>::lowest());
+    for (Index pos = b.begin; pos < b.end; ++pos) {
+      const Real* v = sorted.vectors.Row(pos);
+      for (Index d = 0; d < f; ++d) {
+        auto& lo = b.coord_min[static_cast<std::size_t>(d)];
+        auto& hi = b.coord_max[static_cast<std::size_t>(d)];
+        lo = std::min(lo, v[d]);
+        hi = std::max(hi, v[d]);
+      }
+    }
+    buckets.push_back(std::move(b));
+  }
+  return buckets;
+}
+
+}  // namespace lemp
+}  // namespace mips

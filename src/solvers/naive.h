@@ -1,0 +1,33 @@
+// Naive brute-force MIPS: a double loop of vector inner products.
+//
+// This is the Section II-B strawman ("repeatedly calling sdot in a double
+// for-loop over the user and item vectors").  It computes exactly the same
+// scores as BMM but with no cache blocking, so the BMM-vs-naive gap in the
+// micro benches quantifies the paper's "constant factor" argument.
+
+#ifndef MIPS_SOLVERS_NAIVE_H_
+#define MIPS_SOLVERS_NAIVE_H_
+
+#include "solvers/solver.h"
+
+namespace mips {
+
+/// Brute force via per-pair dot products (vectorized dots, no blocking).
+class NaiveSolver : public MipsSolver {
+ public:
+  std::string name() const override { return "naive"; }
+  bool batches_users() const override { return false; }
+
+  Status Prepare(const ConstRowBlock& users,
+                 const ConstRowBlock& items) override;
+  Status TopKForUsers(Index k, std::span<const Index> user_ids,
+                      TopKResult* out) override;
+
+ private:
+  ConstRowBlock users_;
+  ConstRowBlock items_;
+};
+
+}  // namespace mips
+
+#endif  // MIPS_SOLVERS_NAIVE_H_

@@ -1,0 +1,23 @@
+#include "solvers/solver.h"
+
+#include <cstring>
+#include <numeric>
+
+namespace mips {
+
+Status MipsSolver::TopKAll(Index k, TopKResult* out) {
+  std::vector<Index> ids(static_cast<std::size_t>(prepared_users_));
+  std::iota(ids.begin(), ids.end(), 0);
+  return TopKForUsers(k, ids, out);
+}
+
+Matrix GatherRows(const ConstRowBlock& users, std::span<const Index> ids) {
+  Matrix out(static_cast<Index>(ids.size()), users.cols());
+  for (std::size_t r = 0; r < ids.size(); ++r) {
+    std::memcpy(out.Row(static_cast<Index>(r)), users.Row(ids[r]),
+                static_cast<std::size_t>(users.cols()) * sizeof(Real));
+  }
+  return out;
+}
+
+}  // namespace mips

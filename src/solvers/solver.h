@@ -1,0 +1,83 @@
+// The common interface every MIPS serving strategy implements.
+//
+// A solver is prepared once against a (users, items) model — this is where
+// indexes are constructed — and then answers batch top-K queries for any
+// subset of the prepared users.  OPTIMUS drives solvers purely through this
+// interface: Prepare() to build the index, TopKForUsers() on a sample to
+// estimate cost, TopKForUsers() on the remainder with the winner.
+//
+// batches_users() distinguishes solvers whose per-user cost is only
+// realized when many users are scored together (BMM, MAXIMUS — hardware
+// blocking) from point-query solvers (naive, LEMP, FEXIPRO).  OPTIMUS may
+// apply its t-test early stopping only to the latter (Section IV-A).
+
+#ifndef MIPS_SOLVERS_SOLVER_H_
+#define MIPS_SOLVERS_SOLVER_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+#include "linalg/matrix.h"
+#include "topk/result.h"
+
+namespace mips {
+
+/// Abstract batch exact-MIPS solver.
+class MipsSolver {
+ public:
+  virtual ~MipsSolver() = default;
+
+  /// Short identifier, e.g. "bmm", "maximus", "lemp", "fexipro-si".
+  virtual std::string name() const = 0;
+
+  /// True if the solver exploits scoring many users at once (so per-user
+  /// timings of single-user calls are not representative).
+  virtual bool batches_users() const = 0;
+
+  /// Builds index structures over the model.  The views must stay valid for
+  /// the lifetime of the solver.  Calling Prepare again re-indexes.
+  virtual Status Prepare(const ConstRowBlock& users,
+                         const ConstRowBlock& items) = 0;
+
+  /// Computes exact top-K for each user id in `user_ids` (indices into the
+  /// prepared user matrix).  Writes result row r for user_ids[r]; *out is
+  /// resized to (user_ids.size(), k).  If k exceeds the item count, rows
+  /// are padded with {-1, -inf} sentinel entries.
+  virtual Status TopKForUsers(Index k, std::span<const Index> user_ids,
+                              TopKResult* out) = 0;
+
+  /// Convenience: top-K for every prepared user.
+  Status TopKAll(Index k, TopKResult* out);
+
+  /// Optional thread pool for data-parallel execution over users.  Null
+  /// (default) means single-threaded.  The pool must outlive the solver's
+  /// queries.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
+  ThreadPool* thread_pool() const { return pool_; }
+
+  /// Per-stage wall-time breakdown accumulated by Prepare/queries
+  /// (clustering, construction, traversal, ...).  Solvers without stages
+  /// leave it empty.
+  const StageTimer& stage_timer() const { return stage_timer_; }
+  StageTimer* mutable_stage_timer() { return &stage_timer_; }
+
+ protected:
+  /// Number of users the solver was prepared with (set by subclasses).
+  Index prepared_users_ = 0;
+
+  ThreadPool* pool_ = nullptr;
+  StageTimer stage_timer_;
+};
+
+/// Gathers the given user rows of `users` into a dense matrix (one row per
+/// id, in order).  Shared helper for batching solvers.
+Matrix GatherRows(const ConstRowBlock& users, std::span<const Index> ids);
+
+}  // namespace mips
+
+#endif  // MIPS_SOLVERS_SOLVER_H_

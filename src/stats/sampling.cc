@@ -1,0 +1,46 @@
+#include "stats/sampling.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace mips {
+
+std::vector<Index> SampleWithoutReplacement(Index n, Index count, Rng* rng) {
+  std::vector<Index> out;
+  if (n <= 0 || count <= 0) return out;
+  if (count >= n) {
+    out.resize(static_cast<std::size_t>(n));
+    for (Index i = 0; i < n; ++i) out[static_cast<std::size_t>(i)] = i;
+    return out;
+  }
+  // Floyd's algorithm: O(count) expected insertions, no O(n) scratch.
+  std::unordered_set<Index> chosen;
+  chosen.reserve(static_cast<std::size_t>(count) * 2);
+  for (Index j = n - count; j < n; ++j) {
+    const Index t = static_cast<Index>(
+        rng->UniformInt(static_cast<uint64_t>(j) + 1));
+    if (!chosen.insert(t).second) chosen.insert(j);
+  }
+  out.assign(chosen.begin(), chosen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+Index MinVectorsToFillCache(Index f, std::size_t cache_bytes) {
+  const std::size_t bytes_per_vector =
+      static_cast<std::size_t>(std::max<Index>(1, f)) * sizeof(Real);
+  const std::size_t vectors =
+      (cache_bytes + bytes_per_vector - 1) / bytes_per_vector;
+  return static_cast<Index>(std::max<std::size_t>(1, vectors));
+}
+
+Index OptimizerSampleSize(Index n, double ratio, Index f,
+                          std::size_t cache_bytes) {
+  const double by_ratio = std::ceil(ratio * static_cast<double>(n));
+  const Index fill = MinVectorsToFillCache(f, cache_bytes);
+  Index size = std::max<Index>(static_cast<Index>(by_ratio), fill);
+  return std::min(size, n);
+}
+
+}  // namespace mips

@@ -1,0 +1,33 @@
+// User-sampling helpers for OPTIMUS.
+//
+// Two pieces: uniform sampling without replacement (the random user subset
+// OPTIMUS times each strategy on) and the L2-cache occupancy lower bound
+// from Section IV-A ("the sample size must at least occupy the entire L2
+// cache" so GEMM on the sample exhibits the same blocked-kernel behavior
+// as the full run).
+
+#ifndef MIPS_STATS_SAMPLING_H_
+#define MIPS_STATS_SAMPLING_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace mips {
+
+/// Draws `count` distinct indices uniformly from [0, n), sorted ascending.
+/// If count >= n, returns all of [0, n).
+std::vector<Index> SampleWithoutReplacement(Index n, Index count, Rng* rng);
+
+/// Minimum number of f-dimensional Real vectors whose payload fills
+/// `cache_bytes` (>= 1).
+Index MinVectorsToFillCache(Index f, std::size_t cache_bytes);
+
+/// OPTIMUS sample size: max(ratio * n, L2 fill count), clamped to n.
+Index OptimizerSampleSize(Index n, double ratio, Index f,
+                          std::size_t cache_bytes);
+
+}  // namespace mips
+
+#endif  // MIPS_STATS_SAMPLING_H_

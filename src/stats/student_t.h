@@ -1,0 +1,21 @@
+// Student-t distribution CDF (via the regularized incomplete beta
+// function), used to convert t statistics into p-values for OPTIMUS's
+// early-stopping test.
+
+#ifndef MIPS_STATS_STUDENT_T_H_
+#define MIPS_STATS_STUDENT_T_H_
+
+namespace mips {
+
+/// Regularized incomplete beta function I_x(a, b) for x in [0, 1], a, b > 0.
+double RegularizedIncompleteBeta(double a, double b, double x);
+
+/// P(T <= t) for Student's t with `df` degrees of freedom (df > 0).
+double StudentTCdf(double t, double df);
+
+/// Two-sided p-value for an observed t statistic: P(|T| >= |t|).
+double StudentTTwoSidedPValue(double t, double df);
+
+}  // namespace mips
+
+#endif  // MIPS_STATS_STUDENT_T_H_

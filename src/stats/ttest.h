@@ -1,0 +1,78 @@
+// Incremental one-sample t-test.
+//
+// OPTIMUS's early-stopping rule (Section IV-A): while timing an index on a
+// sample of users, after each user compare the running mean per-user query
+// time against BMM's (already measured) mean per-user time.  If the
+// one-sample t-test rejects "index mean == BMM mean" at the configured
+// significance level, stop sampling early and pick whichever is faster.
+
+#ifndef MIPS_STATS_TTEST_H_
+#define MIPS_STATS_TTEST_H_
+
+#include <cmath>
+#include <limits>
+
+#include "stats/student_t.h"
+#include "stats/welford.h"
+
+namespace mips {
+
+/// Outcome of a one-sample t-test at a point in the observation stream.
+struct TTestResult {
+  double t_statistic = 0;
+  double p_value = 1.0;
+  /// True if the null hypothesis (sample mean == mu0) is rejected.
+  bool significant = false;
+};
+
+/// Streams observations and tests the sample mean against `mu0`.
+class IncrementalTTest {
+ public:
+  /// `alpha` is the significance threshold (paper example: 5%).
+  /// `min_observations` guards against spurious early rejections on tiny n.
+  explicit IncrementalTTest(double mu0, double alpha = 0.05,
+                            int min_observations = 8)
+      : mu0_(mu0), alpha_(alpha), min_observations_(min_observations) {}
+
+  /// Adds an observation and returns the current test outcome.
+  TTestResult Add(double x) {
+    acc_.Add(x);
+    return Test();
+  }
+
+  /// Test outcome for the observations seen so far.
+  TTestResult Test() const {
+    TTestResult r;
+    if (acc_.count() < min_observations_ || acc_.count() < 2) return r;
+    const double se = acc_.stderr_mean();
+    if (se == 0) {
+      // Zero variance: the sample is deterministic; any nonzero difference
+      // from mu0 is trivially significant.
+      r.t_statistic = (acc_.mean() == mu0_) ? 0.0
+                      : (acc_.mean() > mu0_
+                             ? std::numeric_limits<double>::infinity()
+                             : -std::numeric_limits<double>::infinity());
+      r.p_value = (acc_.mean() == mu0_) ? 1.0 : 0.0;
+      r.significant = acc_.mean() != mu0_;
+      return r;
+    }
+    r.t_statistic = (acc_.mean() - mu0_) / se;
+    r.p_value = StudentTTwoSidedPValue(r.t_statistic,
+                                       static_cast<double>(acc_.count() - 1));
+    r.significant = r.p_value < alpha_;
+    return r;
+  }
+
+  const Welford& accumulator() const { return acc_; }
+  double mu0() const { return mu0_; }
+
+ private:
+  double mu0_;
+  double alpha_;
+  int min_observations_;
+  Welford acc_;
+};
+
+}  // namespace mips
+
+#endif  // MIPS_STATS_TTEST_H_

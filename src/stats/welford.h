@@ -1,0 +1,55 @@
+// Welford's online mean/variance accumulator.
+//
+// OPTIMUS measures per-user query times one user at a time and needs a
+// numerically stable running mean and variance to drive the incremental
+// one-sample t-test (Section IV-A, "Early Stopping with t-test").
+
+#ifndef MIPS_STATS_WELFORD_H_
+#define MIPS_STATS_WELFORD_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace mips {
+
+/// Single-pass mean/variance accumulator (Welford 1962).
+class Welford {
+ public:
+  /// Adds one observation.
+  void Add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
+
+  int64_t count() const { return count_; }
+  double mean() const { return mean_; }
+
+  /// Unbiased sample variance; 0 when fewer than two observations.
+  double variance() const {
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_ - 1);
+  }
+
+  double stddev() const { return std::sqrt(variance()); }
+
+  /// Standard error of the mean; 0 when empty.
+  double stderr_mean() const {
+    return count_ < 1 ? 0.0 : stddev() / std::sqrt(static_cast<double>(count_));
+  }
+
+  void Reset() {
+    count_ = 0;
+    mean_ = 0;
+    m2_ = 0;
+  }
+
+ private:
+  int64_t count_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+};
+
+}  // namespace mips
+
+#endif  // MIPS_STATS_WELFORD_H_

@@ -1,0 +1,65 @@
+// Result container for batch top-K queries.
+//
+// Every solver produces a TopKResult: for each of the Q query users, K
+// (item, score) entries sorted by descending score.  Storage is one flat
+// array so batch results for millions of users stay cache- and
+// allocation-friendly.
+
+#ifndef MIPS_TOPK_RESULT_H_
+#define MIPS_TOPK_RESULT_H_
+
+#include <cassert>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mips {
+
+/// One retrieved item with its inner-product score.
+struct TopKEntry {
+  Index item = -1;
+  Real score = 0;
+
+  bool operator==(const TopKEntry& other) const = default;
+};
+
+/// Batch top-K results: `num_queries` rows of exactly `k` entries each,
+/// each row sorted by (score desc, item asc).
+class TopKResult {
+ public:
+  TopKResult() = default;
+  TopKResult(Index num_queries, Index k)
+      : num_queries_(num_queries),
+        k_(k),
+        entries_(static_cast<std::size_t>(num_queries) * k) {}
+
+  Index num_queries() const { return num_queries_; }
+  Index k() const { return k_; }
+
+  /// Mutable pointer to the K entries of query q.
+  TopKEntry* Row(Index q) {
+    assert(q >= 0 && q < num_queries_);
+    return entries_.data() + static_cast<std::size_t>(q) * k_;
+  }
+  const TopKEntry* Row(Index q) const {
+    assert(q >= 0 && q < num_queries_);
+    return entries_.data() + static_cast<std::size_t>(q) * k_;
+  }
+
+  /// Copies the K entries of query `src_q` in `src` into query `dst_q`.
+  void CopyRowFrom(const TopKResult& src, Index src_q, Index dst_q) {
+    assert(src.k() == k_);
+    const TopKEntry* in = src.Row(src_q);
+    TopKEntry* out = Row(dst_q);
+    for (Index i = 0; i < k_; ++i) out[i] = in[i];
+  }
+
+ private:
+  Index num_queries_ = 0;
+  Index k_ = 0;
+  std::vector<TopKEntry> entries_;
+};
+
+}  // namespace mips
+
+#endif  // MIPS_TOPK_RESULT_H_

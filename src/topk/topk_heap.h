@@ -1,0 +1,88 @@
+// Bounded min-heap for streaming top-K selection.
+//
+// This is the "min-heap from the C++ standard library" the paper's BMM
+// baseline uses (Section II-B), and the heap H in MAXIMUS's QueryIndex
+// (Algorithm 1).  The heap keeps the K best (item, score) pairs seen so
+// far; MinScore() is the pruning threshold min(H) the index walks compare
+// bounds against.
+
+#ifndef MIPS_TOPK_TOPK_HEAP_H_
+#define MIPS_TOPK_TOPK_HEAP_H_
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <vector>
+
+#include "topk/result.h"
+
+namespace mips {
+
+/// Fixed-capacity min-heap ordered by score (heap front = current minimum).
+class TopKHeap {
+ public:
+  explicit TopKHeap(Index k) : k_(k) { heap_.reserve(static_cast<std::size_t>(k)); }
+
+  Index k() const { return k_; }
+  Index size() const { return static_cast<Index>(heap_.size()); }
+  bool full() const { return size() == k_; }
+
+  /// Smallest score currently held, or -infinity while the heap is not yet
+  /// full (so every candidate is accepted until K entries exist).
+  Real MinScore() const {
+    return full() ? heap_.front().score
+                  : -std::numeric_limits<Real>::infinity();
+  }
+
+  /// True if a candidate with this score would enter the heap.
+  bool WouldAccept(Real score) const { return score > MinScore(); }
+
+  /// Inserts (item, score) if it beats the current minimum (or the heap is
+  /// not full).  Returns true if inserted.
+  bool Push(Index item, Real score) {
+    if (!full()) {
+      heap_.push_back({item, score});
+      std::push_heap(heap_.begin(), heap_.end(), MinOnTop);
+      return true;
+    }
+    if (score <= heap_.front().score) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), MinOnTop);
+    heap_.back() = {item, score};
+    std::push_heap(heap_.begin(), heap_.end(), MinOnTop);
+    return true;
+  }
+
+  void Clear() { heap_.clear(); }
+
+  /// Writes the heap contents into out[0..k), sorted by (score desc, item
+  /// asc).  If fewer than K entries were pushed (n < K items exist), the
+  /// tail is filled with {-1, -inf} sentinels.  The heap is left empty.
+  void ExtractDescending(TopKEntry* out) {
+    std::sort(heap_.begin(), heap_.end(), [](const TopKEntry& a,
+                                             const TopKEntry& b) {
+      if (a.score != b.score) return a.score > b.score;
+      return a.item < b.item;
+    });
+    Index i = 0;
+    for (; i < size(); ++i) out[i] = heap_[static_cast<std::size_t>(i)];
+    for (; i < k_; ++i) {
+      out[i] = {-1, -std::numeric_limits<Real>::infinity()};
+    }
+    heap_.clear();
+  }
+
+ private:
+  // std::push_heap builds a max-heap under the comparator; "greater"
+  // therefore puts the minimum at the front.
+  static bool MinOnTop(const TopKEntry& a, const TopKEntry& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.item < b.item;
+  }
+
+  Index k_;
+  std::vector<TopKEntry> heap_;
+};
+
+}  // namespace mips
+
+#endif  // MIPS_TOPK_TOPK_HEAP_H_

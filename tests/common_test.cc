@@ -1,0 +1,376 @@
+// Unit tests for src/common: Status, timers, RNG, flags, thread pool.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+#include <vector>
+
+#include "common/flags.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/thread_pool.h"
+#include "common/timer.h"
+
+namespace mips {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad k");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kFailedPrecondition),
+               "FailedPrecondition");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIOError), "IOError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnimplemented), "Unimplemented");
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result(Status::NotFound("nope"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::vector<int>> result(std::vector<int>{1, 2, 3});
+  ASSERT_TRUE(result.ok());
+  std::vector<int> v = std::move(result).value();
+  EXPECT_EQ(v.size(), 3u);
+}
+
+Status FailThenPropagate() {
+  MIPS_RETURN_IF_ERROR(Status::Internal("inner"));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  const Status st = FailThenPropagate();
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_EQ(st.message(), "inner");
+}
+
+// ---------------------------------------------------------------- Timer
+
+TEST(TimerTest, MeasuresElapsedTime) {
+  WallTimer t;
+  double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  EXPECT_GT(t.Seconds(), 0.0);
+  // Keep the loop observable so the optimizer cannot remove it.
+  EXPECT_GT(sink, 0.0);
+}
+
+TEST(StageTimerTest, AccumulatesByName) {
+  StageTimer timer;
+  timer.Add("a", 1.0);
+  timer.Add("b", 2.0);
+  timer.Add("a", 0.5);
+  EXPECT_DOUBLE_EQ(timer.Get("a"), 1.5);
+  EXPECT_DOUBLE_EQ(timer.Get("b"), 2.0);
+  EXPECT_DOUBLE_EQ(timer.Get("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(timer.Total(), 3.5);
+  ASSERT_EQ(timer.stages().size(), 2u);
+  EXPECT_EQ(timer.stages()[0].first, "a");  // first-use order
+  EXPECT_EQ(timer.stages()[1].first, "b");
+}
+
+TEST(StageTimerTest, TimeChargesStageAndReturnsValue) {
+  StageTimer timer;
+  const int out = timer.Time("work", []() { return 7; });
+  EXPECT_EQ(out, 7);
+  EXPECT_GE(timer.Get("work"), 0.0);
+  timer.Time("void_work", []() {});
+  EXPECT_EQ(timer.stages().size(), 2u);
+}
+
+TEST(StageTimerTest, ClearEmpties) {
+  StageTimer timer;
+  timer.Add("a", 1.0);
+  timer.Clear();
+  EXPECT_EQ(timer.stages().size(), 0u);
+  EXPECT_DOUBLE_EQ(timer.Total(), 0.0);
+}
+
+// ------------------------------------------------------------------ Rng
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(10);
+  for (uint64_t n : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.UniformInt(n), n);
+    }
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(11);
+  std::vector<int> counts(8, 0);
+  for (int i = 0; i < 8000; ++i) ++counts[rng.UniformInt(8)];
+  for (int c : counts) EXPECT_GT(c, 700);  // ~1000 expected per bucket
+}
+
+TEST(RngTest, NormalMomentsApproximate) {
+  Rng rng(12);
+  const int n = 200000;
+  double sum = 0;
+  double sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum2 / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, NormalWithParams) {
+  Rng rng(13);
+  const int n = 100000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += rng.Normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(RngTest, LogNormalIsPositive) {
+  Rng rng(14);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(rng.LogNormal(0.0, 1.0), 0.0);
+}
+
+TEST(RngTest, ReseedRestartsSequence) {
+  Rng rng(77);
+  const uint64_t first = rng();
+  rng();
+  rng.Seed(77);
+  EXPECT_EQ(rng(), first);
+}
+
+// ---------------------------------------------------------------- Flags
+
+TEST(FlagsTest, ParsesAllTypes) {
+  FlagSet flags;
+  double d = 1.0;
+  int64_t i64 = 5;
+  int32_t i32 = 6;
+  bool b = false;
+  std::string s = "x";
+  flags.Double("scale", &d, "scale");
+  flags.Int64("users", &i64, "users");
+  flags.Int32("k", &i32, "k");
+  flags.Bool("verbose", &b, "verbose");
+  flags.String("name", &s, "name");
+
+  const char* argv[] = {"prog",        "--scale=0.5", "--users", "100",
+                        "--k=3",       "--verbose",   "--name",  "hello"};
+  ASSERT_TRUE(
+      flags.Parse(8, const_cast<char**>(argv)).ok());
+  EXPECT_DOUBLE_EQ(d, 0.5);
+  EXPECT_EQ(i64, 100);
+  EXPECT_EQ(i32, 3);
+  EXPECT_TRUE(b);
+  EXPECT_EQ(s, "hello");
+}
+
+TEST(FlagsTest, UnknownFlagFails) {
+  FlagSet flags;
+  double d = 0;
+  flags.Double("scale", &d, "scale");
+  const char* argv[] = {"prog", "--bogus=1"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+TEST(FlagsTest, BadValueFails) {
+  FlagSet flags;
+  double d = 0;
+  flags.Double("scale", &d, "scale");
+  const char* argv[] = {"prog", "--scale=abc"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+TEST(FlagsTest, MissingValueFails) {
+  FlagSet flags;
+  double d = 0;
+  flags.Double("scale", &d, "scale");
+  const char* argv[] = {"prog", "--scale"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+TEST(FlagsTest, BadBoolFails) {
+  FlagSet flags;
+  bool b = false;
+  flags.Bool("flag", &b, "flag");
+  const char* argv[] = {"prog", "--flag=maybe"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+TEST(FlagsTest, PositionalArgumentFails) {
+  FlagSet flags;
+  const char* argv[] = {"prog", "positional"};
+  EXPECT_FALSE(flags.Parse(2, const_cast<char**>(argv)).ok());
+}
+
+TEST(FlagsTest, UsageListsFlagsAndDefaults) {
+  FlagSet flags;
+  double d = 2.5;
+  flags.Double("scale", &d, "the scale");
+  const std::string usage = flags.Usage();
+  EXPECT_NE(usage.find("--scale"), std::string::npos);
+  EXPECT_NE(usage.find("the scale"), std::string::npos);
+  EXPECT_NE(usage.find("2.5"), std::string::npos);
+}
+
+// ----------------------------------------------------------- SplitRange
+
+TEST(SplitRangeTest, ExactPartition) {
+  const auto chunks = SplitRange(10, 3);
+  ASSERT_EQ(chunks.size(), 3u);
+  EXPECT_EQ(chunks[0].begin, 0);
+  EXPECT_EQ(chunks[0].end, 4);  // 10 = 4 + 3 + 3
+  EXPECT_EQ(chunks[1].begin, 4);
+  EXPECT_EQ(chunks[1].end, 7);
+  EXPECT_EQ(chunks[2].begin, 7);
+  EXPECT_EQ(chunks[2].end, 10);
+}
+
+TEST(SplitRangeTest, MorePartsThanElements) {
+  const auto chunks = SplitRange(2, 5);
+  ASSERT_EQ(chunks.size(), 5u);
+  int64_t total = 0;
+  for (const auto& c : chunks) {
+    EXPECT_LE(c.begin, c.end);
+    total += c.end - c.begin;
+  }
+  EXPECT_EQ(total, 2);
+}
+
+TEST(SplitRangeTest, ZeroElements) {
+  const auto chunks = SplitRange(0, 4);
+  for (const auto& c : chunks) EXPECT_EQ(c.begin, c.end);
+}
+
+TEST(SplitRangeTest, CoversEveryIndexOnce) {
+  for (int64_t n : {1, 7, 100, 1001}) {
+    for (int parts : {1, 2, 3, 8, 16}) {
+      const auto chunks = SplitRange(n, parts);
+      std::vector<int> hit(static_cast<std::size_t>(n), 0);
+      for (const auto& c : chunks) {
+        for (int64_t i = c.begin; i < c.end; ++i) ++hit[static_cast<std::size_t>(i)];
+      }
+      for (int h : hit) EXPECT_EQ(h, 1);
+    }
+  }
+}
+
+// ----------------------------------------------------------- ThreadPool
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter]() { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIsReusable) {
+  ThreadPool pool(2);
+  std::atomic<int> counter{0};
+  pool.Submit([&]() { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 1);
+  pool.Submit([&]() { counter.fetch_add(1); });
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 2);
+}
+
+TEST(ThreadPoolTest, AtLeastOneThread) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+}
+
+TEST(ParallelForTest, InlineWithoutPool) {
+  std::vector<int> hits(50, 0);
+  ParallelFor(nullptr, 50, [&](int64_t begin, int64_t end, int chunk) {
+    EXPECT_EQ(chunk, 0);
+    for (int64_t i = begin; i < end; ++i) ++hits[static_cast<std::size_t>(i)];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, CoversRangeWithPool) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  ParallelFor(&pool, 1000, [&](int64_t begin, int64_t end, int /*chunk*/) {
+    for (int64_t i = begin; i < end; ++i) {
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+    }
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelForTest, EmptyRange) {
+  ThreadPool pool(2);
+  std::atomic<int> calls{0};
+  ParallelFor(&pool, 0, [&](int64_t, int64_t, int) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+}  // namespace
+}  // namespace mips

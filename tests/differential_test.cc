@@ -1,0 +1,154 @@
+// Randomized differential testing: many seeded random workload
+// configurations, every solver (and OPTIMUS, and the serving session)
+// must produce identical exact top-K score sequences.  This is the
+// library's fuzz harness — any divergence between two exact solvers is a
+// bug by definition, whatever the input distribution.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "core/maximus.h"
+#include "core/optimus.h"
+#include "core/registry.h"
+#include "core/serving.h"
+#include "solvers/bmm.h"
+#include "test_util.h"
+
+namespace mips {
+namespace {
+
+using ::mips::testing::ExpectSameTopKScores;
+
+// One random workload drawn from a seeded generator: dimensions, K,
+// norm skew, clusterability, and sign structure all vary.
+struct RandomWorkload {
+  MFModel model;
+  Index k = 1;
+};
+
+RandomWorkload DrawWorkload(uint64_t seed) {
+  Rng rng(seed);
+  SyntheticModelConfig config;
+  config.seed = seed * 31 + 7;
+  config.num_users = 10 + static_cast<Index>(rng.UniformInt(150));
+  config.num_items = 5 + static_cast<Index>(rng.UniformInt(300));
+  config.num_factors = 1 + static_cast<Index>(rng.UniformInt(40));
+  config.item_norm_sigma = rng.Uniform(0.0, 1.5);
+  config.item_norm_mu = rng.Uniform(-0.5, 0.5);
+  config.user_modes = 1 + static_cast<Index>(rng.UniformInt(12));
+  config.user_dispersion = rng.Uniform(0.0, 2.0);
+  config.user_norm_sigma = rng.Uniform(0.0, 0.8);
+  config.non_negative = rng.UniformInt(3) == 0;
+  RandomWorkload workload;
+  auto model = GenerateSyntheticModel(config);
+  EXPECT_TRUE(model.ok());
+  workload.model = std::move(model).value();
+  // K occasionally exceeds the item count to exercise padding.
+  workload.k = 1 + static_cast<Index>(
+                       rng.UniformInt(static_cast<uint64_t>(
+                           workload.model.num_items() + 3)));
+  return workload;
+}
+
+class DifferentialTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DifferentialTest, AllSolversAgreeOnRandomWorkload) {
+  const RandomWorkload workload =
+      DrawWorkload(static_cast<uint64_t>(GetParam()));
+  const MFModel& model = workload.model;
+  SCOPED_TRACE(::testing::Message()
+               << "seed=" << GetParam() << " users=" << model.num_users()
+               << " items=" << model.num_items()
+               << " f=" << model.num_factors() << " k=" << workload.k);
+
+  BmmSolver reference;
+  ASSERT_TRUE(reference.Prepare(ConstRowBlock(model.users),
+                                ConstRowBlock(model.items)).ok());
+  TopKResult expected;
+  ASSERT_TRUE(reference.TopKAll(workload.k, &expected).ok());
+
+  for (const std::string& name : AvailableSolvers()) {
+    auto solver = CreateSolver(name);
+    ASSERT_TRUE(solver.ok());
+    ASSERT_TRUE((*solver)->Prepare(ConstRowBlock(model.users),
+                                   ConstRowBlock(model.items)).ok())
+        << name;
+    TopKResult got;
+    ASSERT_TRUE((*solver)->TopKAll(workload.k, &got).ok()) << name;
+    SCOPED_TRACE(name);
+    // Scores can be large when norm_mu is high; scale the tolerance.
+    ExpectSameTopKScores(got, expected,
+                         1e-7 * (1 + std::abs(expected.Row(0)[0].score)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest, ::testing::Range(1, 33));
+
+TEST(DifferentialOptimusTest, OptimusExactOnRandomWorkloads) {
+  for (int seed = 100; seed < 108; ++seed) {
+    const RandomWorkload workload = DrawWorkload(static_cast<uint64_t>(seed));
+    const MFModel& model = workload.model;
+    SCOPED_TRACE(::testing::Message() << "seed=" << seed);
+
+    BmmSolver reference;
+    ASSERT_TRUE(reference.Prepare(ConstRowBlock(model.users),
+                                  ConstRowBlock(model.items)).ok());
+    TopKResult expected;
+    ASSERT_TRUE(reference.TopKAll(workload.k, &expected).ok());
+
+    BmmSolver bmm;
+    MaximusSolver maximus;
+    OptimusOptions options;
+    options.l2_cache_bytes = 4 * 1024;
+    options.seed = static_cast<uint64_t>(seed);
+    Optimus optimus(options);
+    TopKResult got;
+    ASSERT_TRUE(optimus
+                    .Run(ConstRowBlock(model.users),
+                         ConstRowBlock(model.items), workload.k,
+                         {&bmm, &maximus}, &got)
+                    .ok());
+    ExpectSameTopKScores(got, expected,
+                         1e-7 * (1 + std::abs(expected.Row(0)[0].score)));
+  }
+}
+
+TEST(DifferentialServingTest, SessionsExactOnRandomBatches) {
+  for (int seed = 200; seed < 205; ++seed) {
+    const RandomWorkload workload = DrawWorkload(static_cast<uint64_t>(seed));
+    const MFModel& model = workload.model;
+    SCOPED_TRACE(::testing::Message() << "seed=" << seed);
+
+    ServingOptions options;
+    options.k = workload.k;
+    options.optimus.l2_cache_bytes = 4 * 1024;
+    auto session = ServingSession::Open(ConstRowBlock(model.users),
+                                        ConstRowBlock(model.items), options);
+    ASSERT_TRUE(session.ok()) << session.status().ToString();
+
+    BmmSolver reference;
+    ASSERT_TRUE(reference.Prepare(ConstRowBlock(model.users),
+                                  ConstRowBlock(model.items)).ok());
+
+    Rng rng(static_cast<uint64_t>(seed) + 999);
+    for (int batch = 0; batch < 5; ++batch) {
+      std::vector<Index> ids;
+      const int size = 1 + static_cast<int>(rng.UniformInt(7));
+      for (int i = 0; i < size; ++i) {
+        ids.push_back(static_cast<Index>(
+            rng.UniformInt(static_cast<uint64_t>(model.num_users()))));
+      }
+      TopKResult got;
+      TopKResult expected;
+      ASSERT_TRUE((*session)->ServeBatch(ids, &got).ok());
+      ASSERT_TRUE(reference.TopKForUsers(workload.k, ids, &expected).ok());
+      ExpectSameTopKScores(got, expected,
+                           1e-7 * (1 + std::abs(expected.Row(0)[0].score)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mips

@@ -1,0 +1,307 @@
+// Tests for the FEXIPRO reproduction: each transform in isolation (SVD
+// preserves inner products and concentrates energy; the integer bound is a
+// true upper bound; the reduction preserves inner products and makes items
+// non-negative), then end-to-end exactness for SI and SIR.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "solvers/bmm.h"
+#include "solvers/fexipro/fexipro.h"
+#include "solvers/fexipro/transforms.h"
+#include "test_util.h"
+
+namespace mips {
+namespace {
+
+using ::mips::testing::AllUsers;
+using ::mips::testing::ExpectSameTopKScores;
+using ::mips::testing::ExpectValidTopK;
+using ::mips::testing::MakeTestModel;
+using ::mips::testing::RandomMatrix;
+
+// ------------------------------------------------------------------ SVD
+
+TEST(SvdTransformTest, PreservesInnerProductsAndNorms) {
+  const MFModel model = MakeTestModel(20, 100, 12, 3);
+  auto t = fexipro::ComputeSvdTransform(ConstRowBlock(model.items), 0.8);
+  ASSERT_TRUE(t.ok()) << t.status().ToString();
+
+  std::vector<Real> tu(12);
+  std::vector<Real> ti(12);
+  for (Index u = 0; u < 5; ++u) {
+    t->Apply(model.users.Row(u), tu.data());
+    EXPECT_NEAR(Nrm2(tu.data(), 12), Nrm2(model.users.Row(u), 12), 1e-9);
+    for (Index i = 0; i < 10; ++i) {
+      t->Apply(model.items.Row(i), ti.data());
+      EXPECT_NEAR(Dot(tu.data(), ti.data(), 12),
+                  Dot(model.users.Row(u), model.items.Row(i), 12), 1e-9);
+    }
+  }
+}
+
+TEST(SvdTransformTest, ConcentratesEnergyInHead) {
+  const MFModel model = MakeTestModel(10, 400, 16, 5);
+  auto t = fexipro::ComputeSvdTransform(ConstRowBlock(model.items), 0.7);
+  ASSERT_TRUE(t.ok());
+  EXPECT_GE(t->head_dims, 1);
+  EXPECT_LE(t->head_dims, 16);
+  EXPECT_GE(t->captured_energy, 0.7);
+
+  // Per-coordinate energy of the transformed items must be non-increasing
+  // (coordinates ordered by singular value).
+  const Matrix transformed =
+      fexipro::ApplySvdToRows(*t, ConstRowBlock(model.items));
+  std::vector<Real> energy(16, 0);
+  for (Index r = 0; r < transformed.rows(); ++r) {
+    for (Index c = 0; c < 16; ++c) {
+      energy[static_cast<std::size_t>(c)] +=
+          transformed(r, c) * transformed(r, c);
+    }
+  }
+  for (std::size_t c = 1; c < energy.size(); ++c) {
+    EXPECT_LE(energy[c], energy[c - 1] * (1 + 1e-9));
+  }
+}
+
+TEST(SvdTransformTest, ApplyToRowsMatchesApply) {
+  const MFModel model = MakeTestModel(4, 30, 8, 7);
+  auto t = fexipro::ComputeSvdTransform(ConstRowBlock(model.items), 0.9);
+  ASSERT_TRUE(t.ok());
+  const Matrix rows = fexipro::ApplySvdToRows(*t, ConstRowBlock(model.items));
+  std::vector<Real> single(8);
+  for (Index r = 0; r < 30; ++r) {
+    t->Apply(model.items.Row(r), single.data());
+    for (Index c = 0; c < 8; ++c) {
+      EXPECT_NEAR(rows(r, c), single[static_cast<std::size_t>(c)], 1e-9);
+    }
+  }
+}
+
+TEST(SvdTransformTest, FullEnergyUsesAllDims) {
+  const MFModel model = MakeTestModel(4, 50, 6, 9);
+  auto t = fexipro::ComputeSvdTransform(ConstRowBlock(model.items), 1.0);
+  ASSERT_TRUE(t.ok());
+  EXPECT_EQ(t->head_dims, 6);
+}
+
+TEST(SvdTransformTest, RejectsBadArguments) {
+  Matrix empty;
+  EXPECT_FALSE(fexipro::ComputeSvdTransform(ConstRowBlock(empty), 0.5).ok());
+  const MFModel model = MakeTestModel(4, 10, 4, 11);
+  EXPECT_FALSE(
+      fexipro::ComputeSvdTransform(ConstRowBlock(model.items), 0.0).ok());
+  EXPECT_FALSE(
+      fexipro::ComputeSvdTransform(ConstRowBlock(model.items), 1.5).ok());
+}
+
+// -------------------------------------------------------------- Integer
+
+TEST(QuantizerTest, RoundTripAccuracy) {
+  Rng rng(13);
+  std::vector<Real> x(64);
+  Real max_abs = 0;
+  for (auto& v : x) {
+    v = rng.Normal();
+    max_abs = std::max(max_abs, std::abs(v));
+  }
+  const auto q = fexipro::MakeQuantizer(max_abs);
+  std::vector<int16_t> qx(64);
+  q.Quantize(x.data(), 64, qx.data());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(static_cast<Real>(qx[i]) / q.scale, x[i],
+                0.51 / q.scale);  // rounding error <= 1/2 quantum
+  }
+}
+
+TEST(QuantizerTest, ZeroMaxAbsIsSafe) {
+  const auto q = fexipro::MakeQuantizer(0.0);
+  EXPECT_EQ(q.scale, 1.0);
+  std::vector<Real> x = {0, 0};
+  std::vector<int16_t> qx(2);
+  q.Quantize(x.data(), 2, qx.data());
+  EXPECT_EQ(qx[0], 0);
+}
+
+TEST(QuantizerTest, DotAndL1) {
+  std::vector<int16_t> a = {1, -2, 3};
+  std::vector<int16_t> b = {4, 5, -6};
+  EXPECT_EQ(fexipro::DotInt16(a.data(), b.data(), 3), 4 - 10 - 18);
+  EXPECT_EQ(fexipro::L1Int16(a.data(), 3), 6);
+}
+
+TEST(QuantizerTest, DotInt16NoOverflowAtExtremes) {
+  // 256 dims of +/-32767 exercises accumulation well past int32 range.
+  std::vector<int16_t> a(256, 32767);
+  std::vector<int16_t> b(256, 32767);
+  EXPECT_EQ(fexipro::DotInt16(a.data(), b.data(), 256),
+            256ll * 32767ll * 32767ll);
+}
+
+// Property: the quantized bound is always >= the true inner product.
+TEST(QuantizerTest, UpperBoundProperty) {
+  Rng rng(17);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Index n = 1 + static_cast<Index>(rng.UniformInt(64));
+    std::vector<Real> x(static_cast<std::size_t>(n));
+    std::vector<Real> y(static_cast<std::size_t>(n));
+    Real mx = 0;
+    Real my = 0;
+    for (Index i = 0; i < n; ++i) {
+      x[static_cast<std::size_t>(i)] = rng.Normal(0, 2);
+      y[static_cast<std::size_t>(i)] = rng.Normal(0, 3);
+      mx = std::max(mx, std::abs(x[static_cast<std::size_t>(i)]));
+      my = std::max(my, std::abs(y[static_cast<std::size_t>(i)]));
+    }
+    const auto qx = fexipro::MakeQuantizer(mx);
+    const auto qy = fexipro::MakeQuantizer(my);
+    std::vector<int16_t> ix(static_cast<std::size_t>(n));
+    std::vector<int16_t> iy(static_cast<std::size_t>(n));
+    qx.Quantize(x.data(), n, ix.data());
+    qy.Quantize(y.data(), n, iy.data());
+    const Real bound = fexipro::QuantizedUpperBound(
+        fexipro::DotInt16(ix.data(), iy.data(), n),
+        fexipro::L1Int16(ix.data(), n), fexipro::L1Int16(iy.data(), n), n,
+        qx.scale, qy.scale);
+    const Real truth = Dot(x.data(), y.data(), n);
+    EXPECT_GE(bound, truth - 1e-9) << "trial " << trial << " n " << n;
+    // And not absurdly loose: within the analytic worst case.
+    EXPECT_LE(bound - truth,
+              (static_cast<Real>(fexipro::L1Int16(ix.data(), n)) +
+               static_cast<Real>(fexipro::L1Int16(iy.data(), n)) + n) /
+                  (qx.scale * qy.scale));
+  }
+}
+
+// ------------------------------------------------------------ Reduction
+
+TEST(ReductionTest, ItemsBecomeNonNegativeAndDotsArePreserved) {
+  const MFModel model = MakeTestModel(10, 80, 9, 19);
+  const auto t = fexipro::MakeReduction(ConstRowBlock(model.items));
+  ASSERT_EQ(t.in_dims(), 9);
+  ASSERT_EQ(t.out_dims(), 10);
+  std::vector<Real> item_out(10);
+  std::vector<Real> user_out(10);
+  for (Index i = 0; i < 80; ++i) {
+    t.ApplyToItem(model.items.Row(i), item_out.data());
+    for (Real v : item_out) EXPECT_GE(v, -1e-12);
+    EXPECT_DOUBLE_EQ(item_out[9], 1.0);
+    for (Index u = 0; u < 5; ++u) {
+      t.ApplyToQuery(model.users.Row(u), user_out.data());
+      EXPECT_NEAR(Dot(user_out.data(), item_out.data(), 10),
+                  Dot(model.users.Row(u), model.items.Row(i), 9), 1e-9);
+    }
+  }
+}
+
+TEST(ReductionTest, NonNegativeItemsNeedNoShift) {
+  Matrix items(3, 2);
+  items(0, 0) = 1;
+  items(1, 1) = 2;
+  items(2, 0) = 0.5;
+  const auto t = fexipro::MakeReduction(ConstRowBlock(items));
+  EXPECT_EQ(t.shift[0], 0.0);
+  EXPECT_EQ(t.shift[1], 0.0);
+}
+
+// ------------------------------------------------------------ End-to-end
+
+class FexiproExactnessTest
+    : public ::testing::TestWithParam<std::tuple<int, bool, double>> {};
+
+TEST_P(FexiproExactnessTest, MatchesBruteForce) {
+  const auto [k, use_reduction, norm_sigma] = GetParam();
+  const MFModel model =
+      MakeTestModel(80, 300, 16, /*seed=*/21, /*norm_sigma=*/norm_sigma);
+  FexiproOptions options;
+  options.use_reduction = use_reduction;
+  FexiproSolver fexipro(options);
+  BmmSolver bmm;
+  ASSERT_TRUE(fexipro.Prepare(ConstRowBlock(model.users),
+                              ConstRowBlock(model.items)).ok());
+  ASSERT_TRUE(bmm.Prepare(ConstRowBlock(model.users),
+                          ConstRowBlock(model.items)).ok());
+  TopKResult got;
+  TopKResult expected;
+  ASSERT_TRUE(fexipro.TopKAll(k, &got).ok());
+  ASSERT_TRUE(bmm.TopKAll(k, &expected).ok());
+  ExpectSameTopKScores(got, expected);
+  ExpectValidTopK(got, AllUsers(80), model);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FexiproExactnessTest,
+    ::testing::Combine(::testing::Values(1, 5, 10),
+                       ::testing::Bool(),
+                       ::testing::Values(0.05, 0.9)));
+
+TEST(FexiproSolverTest, NamesDependOnVariant) {
+  FexiproSolver si;
+  FexiproOptions options;
+  options.use_reduction = true;
+  FexiproSolver sir(options);
+  EXPECT_EQ(si.name(), "fexipro-si");
+  EXPECT_EQ(sir.name(), "fexipro-sir");
+  EXPECT_FALSE(si.batches_users());
+}
+
+TEST(FexiproSolverTest, PrunesOnSkewedNorms) {
+  const MFModel model =
+      MakeTestModel(60, 2000, 16, /*seed=*/25, /*norm_sigma=*/1.2);
+  FexiproSolver fexipro;
+  ASSERT_TRUE(fexipro.Prepare(ConstRowBlock(model.users),
+                              ConstRowBlock(model.items)).ok());
+  TopKResult out;
+  ASSERT_TRUE(fexipro.TopKAll(1, &out).ok());
+  EXPECT_LT(fexipro.last_exact_fraction(), 0.25);
+}
+
+TEST(FexiproSolverTest, KLargerThanItemsPads) {
+  const MFModel model = MakeTestModel(5, 3, 4, 27);
+  FexiproSolver fexipro;
+  ASSERT_TRUE(fexipro.Prepare(ConstRowBlock(model.users),
+                              ConstRowBlock(model.items)).ok());
+  TopKResult out;
+  ASSERT_TRUE(fexipro.TopKAll(5, &out).ok());
+  for (Index u = 0; u < 5; ++u) {
+    EXPECT_GE(out.Row(u)[2].item, 0);
+    EXPECT_EQ(out.Row(u)[3].item, -1);
+  }
+}
+
+TEST(FexiproSolverTest, ZeroNormUserHandled) {
+  MFModel model = MakeTestModel(6, 40, 5, 29);
+  for (Index c = 0; c < 5; ++c) model.users(1, c) = 0;
+  FexiproSolver fexipro;
+  BmmSolver bmm;
+  ASSERT_TRUE(fexipro.Prepare(ConstRowBlock(model.users),
+                              ConstRowBlock(model.items)).ok());
+  ASSERT_TRUE(bmm.Prepare(ConstRowBlock(model.users),
+                          ConstRowBlock(model.items)).ok());
+  TopKResult got;
+  TopKResult expected;
+  ASSERT_TRUE(fexipro.TopKAll(2, &got).ok());
+  ASSERT_TRUE(bmm.TopKAll(2, &expected).ok());
+  ExpectSameTopKScores(got, expected);
+}
+
+TEST(FexiproSolverTest, QueryBeforePrepareFails) {
+  FexiproSolver fexipro;
+  TopKResult out;
+  EXPECT_EQ(fexipro.TopKForUsers(1, {}, &out).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(FexiproSolverTest, ConstructionStageRecorded) {
+  const MFModel model = MakeTestModel(10, 60, 8, 33);
+  FexiproSolver fexipro;
+  ASSERT_TRUE(fexipro.Prepare(ConstRowBlock(model.users),
+                              ConstRowBlock(model.items)).ok());
+  EXPECT_GT(fexipro.stage_timer().Get("construction"), 0.0);
+  EXPECT_GE(fexipro.head_dims(), 1);
+}
+
+}  // namespace
+}  // namespace mips

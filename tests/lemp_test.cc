@@ -1,0 +1,279 @@
+// Tests for the LEMP reproduction: bucket structure invariants, exactness
+// against brute force under every retrieval algorithm and under the
+// adaptive (sample-calibrated) mode, pruning effectiveness on skewed
+// norms, and threading.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/thread_pool.h"
+#include "solvers/bmm.h"
+#include "solvers/lemp/lemp.h"
+#include "test_util.h"
+
+namespace mips {
+namespace {
+
+using ::mips::testing::AllUsers;
+using ::mips::testing::ExpectSameTopKScores;
+using ::mips::testing::ExpectValidTopK;
+using ::mips::testing::MakeTestModel;
+
+TEST(LempBucketTest, SortedItemsDescendingAndComplete) {
+  const MFModel model = MakeTestModel(5, 200, 8, 3, /*norm_sigma=*/0.8);
+  const auto sorted = lemp::SortItemsByNorm(ConstRowBlock(model.items), 4);
+  ASSERT_EQ(sorted.vectors.rows(), 200);
+  // Norms descending.
+  for (std::size_t i = 1; i < sorted.norms.size(); ++i) {
+    EXPECT_GE(sorted.norms[i - 1], sorted.norms[i]);
+  }
+  // ids is a permutation.
+  std::vector<Index> ids = sorted.ids;
+  std::sort(ids.begin(), ids.end());
+  for (Index i = 0; i < 200; ++i) {
+    EXPECT_EQ(ids[static_cast<std::size_t>(i)], i);
+  }
+  // Each sorted row matches its original item.
+  for (Index r = 0; r < 200; ++r) {
+    const Index src = sorted.ids[static_cast<std::size_t>(r)];
+    for (Index c = 0; c < 8; ++c) {
+      EXPECT_EQ(sorted.vectors(r, c), model.items(src, c));
+    }
+  }
+}
+
+TEST(LempBucketTest, SuffixNormsCorrect) {
+  const MFModel model = MakeTestModel(5, 50, 12, 4);
+  const auto sorted = lemp::SortItemsByNorm(ConstRowBlock(model.items), 3);
+  const Index ncp = static_cast<Index>(sorted.checkpoint_dims.size());
+  ASSERT_GT(ncp, 0);
+  for (Index r = 0; r < 50; ++r) {
+    for (Index c = 0; c < ncp; ++c) {
+      const Index start = sorted.checkpoint_dims[static_cast<std::size_t>(c)];
+      EXPECT_NEAR(sorted.suffix_norms[static_cast<std::size_t>(r) * ncp + c],
+                  Nrm2(sorted.vectors.Row(r) + start, 12 - start), 1e-12);
+    }
+  }
+}
+
+TEST(LempBucketTest, CheckpointsStrictlyIncreasingInRange) {
+  const MFModel model = MakeTestModel(2, 10, 5, 5);
+  const auto sorted = lemp::SortItemsByNorm(ConstRowBlock(model.items), 8);
+  Index prev = 0;
+  for (Index dim : sorted.checkpoint_dims) {
+    EXPECT_GT(dim, prev);
+    EXPECT_LT(dim, 5);
+    prev = dim;
+  }
+}
+
+TEST(LempBucketTest, BucketsPartitionItems) {
+  const MFModel model = MakeTestModel(5, 537, 6, 6);
+  const auto sorted = lemp::SortItemsByNorm(ConstRowBlock(model.items), 4);
+  const auto buckets = lemp::MakeBuckets(sorted, 100);
+  ASSERT_EQ(buckets.size(), 6u);  // ceil(537 / 100)
+  Index expected_begin = 0;
+  for (const auto& b : buckets) {
+    EXPECT_EQ(b.begin, expected_begin);
+    EXPECT_GT(b.end, b.begin);
+    EXPECT_GE(b.max_norm, b.min_norm);
+    expected_begin = b.end;
+  }
+  EXPECT_EQ(buckets.back().end, 537);
+  // Bucket norm ranges are non-increasing across buckets.
+  for (std::size_t i = 1; i < buckets.size(); ++i) {
+    EXPECT_GE(buckets[i - 1].min_norm, buckets[i].max_norm - 1e-12);
+  }
+}
+
+class LempExactnessTest
+    : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(LempExactnessTest, MatchesBruteForce) {
+  const auto [k, forced_algorithm, norm_sigma] = GetParam();
+  const MFModel model =
+      MakeTestModel(120, 400, 16, /*seed=*/17, /*norm_sigma=*/norm_sigma);
+  LempOptions options;
+  options.forced_algorithm = forced_algorithm;  // -1 = adaptive
+  options.bucket_size = 64;
+  LempSolver lemp(options);
+  BmmSolver bmm;
+  ASSERT_TRUE(lemp.Prepare(ConstRowBlock(model.users),
+                           ConstRowBlock(model.items)).ok());
+  ASSERT_TRUE(bmm.Prepare(ConstRowBlock(model.users),
+                          ConstRowBlock(model.items)).ok());
+  TopKResult got;
+  TopKResult expected;
+  ASSERT_TRUE(lemp.TopKAll(k, &got).ok());
+  ASSERT_TRUE(bmm.TopKAll(k, &expected).ok());
+  ExpectSameTopKScores(got, expected);
+  ExpectValidTopK(got, AllUsers(120), model);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, LempExactnessTest,
+    ::testing::Combine(::testing::Values(1, 5, 10),
+                       ::testing::Values(-1, 0, 1, 2, 3),
+                       ::testing::Values(0.05, 0.8)));
+
+TEST(LempBucketTest, CoordinateRangesCoverBucketItems) {
+  const MFModel model = MakeTestModel(5, 300, 7, 8, 0.6);
+  const auto sorted = lemp::SortItemsByNorm(ConstRowBlock(model.items), 3);
+  const auto buckets = lemp::MakeBuckets(sorted, 64);
+  for (const auto& bucket : buckets) {
+    ASSERT_EQ(bucket.coord_min.size(), 7u);
+    for (Index pos = bucket.begin; pos < bucket.end; ++pos) {
+      const Real* v = sorted.vectors.Row(pos);
+      for (Index d = 0; d < 7; ++d) {
+        EXPECT_LE(bucket.coord_min[static_cast<std::size_t>(d)], v[d]);
+        EXPECT_GE(bucket.coord_max[static_cast<std::size_t>(d)], v[d]);
+      }
+    }
+  }
+}
+
+TEST(LempBucketTest, CoordBoundIsUpperBound) {
+  // Property: the bucket coordinate bound dominates u.i for every item in
+  // the bucket, for random users.
+  const MFModel model = MakeTestModel(30, 200, 6, 9, 0.7);
+  const auto sorted = lemp::SortItemsByNorm(ConstRowBlock(model.items), 2);
+  const auto buckets = lemp::MakeBuckets(sorted, 50);
+  for (Index u = 0; u < 30; ++u) {
+    const Real* user = model.users.Row(u);
+    for (const auto& bucket : buckets) {
+      const Real bound = lemp::CoordBucketBound(user, bucket, 6);
+      for (Index pos = bucket.begin; pos < bucket.end; ++pos) {
+        EXPECT_GE(bound, Dot(user, sorted.vectors.Row(pos), 6) - 1e-9);
+      }
+    }
+  }
+}
+
+TEST(LempSolverTest, PrunesOnSkewedNorms) {
+  const MFModel model =
+      MakeTestModel(100, 2000, 16, /*seed=*/23, /*norm_sigma=*/1.2);
+  LempSolver lemp;
+  ASSERT_TRUE(lemp.Prepare(ConstRowBlock(model.users),
+                           ConstRowBlock(model.items)).ok());
+  TopKResult out;
+  ASSERT_TRUE(lemp.TopKAll(1, &out).ok());
+  // Heavily skewed norms: the vast majority of items must never be
+  // scanned.
+  EXPECT_LT(lemp.last_scan_fraction(), 0.25);
+}
+
+TEST(LempSolverTest, ScansEverythingOnFlatNormsForLargeK) {
+  const MFModel model =
+      MakeTestModel(30, 200, 8, /*seed=*/29, /*norm_sigma=*/0.0);
+  LempSolver lemp;
+  ASSERT_TRUE(lemp.Prepare(ConstRowBlock(model.users),
+                           ConstRowBlock(model.items)).ok());
+  TopKResult out;
+  ASSERT_TRUE(lemp.TopKAll(10, &out).ok());
+  // Equal norms defeat length pruning entirely: the length test
+  // ||i|| * ||u|| <= minH can only fire after heap-fill, and with equal
+  // norms most items survive it.
+  EXPECT_GT(lemp.last_scan_fraction(), 0.5);
+}
+
+TEST(LempSolverTest, KLargerThanItemsPads) {
+  const MFModel model = MakeTestModel(10, 4, 4, 31);
+  LempSolver lemp;
+  ASSERT_TRUE(lemp.Prepare(ConstRowBlock(model.users),
+                           ConstRowBlock(model.items)).ok());
+  TopKResult out;
+  ASSERT_TRUE(lemp.TopKAll(6, &out).ok());
+  for (Index u = 0; u < 10; ++u) {
+    EXPECT_GE(out.Row(u)[3].item, 0);
+    EXPECT_EQ(out.Row(u)[4].item, -1);
+    EXPECT_EQ(out.Row(u)[5].item, -1);
+  }
+}
+
+TEST(LempSolverTest, RecalibratesWhenKChanges) {
+  const MFModel model = MakeTestModel(80, 300, 8, 37, 0.6);
+  LempSolver lemp;
+  BmmSolver bmm;
+  ASSERT_TRUE(lemp.Prepare(ConstRowBlock(model.users),
+                           ConstRowBlock(model.items)).ok());
+  ASSERT_TRUE(bmm.Prepare(ConstRowBlock(model.users),
+                          ConstRowBlock(model.items)).ok());
+  for (Index k : {1, 10, 2}) {
+    TopKResult got;
+    TopKResult expected;
+    ASSERT_TRUE(lemp.TopKAll(k, &got).ok());
+    ASSERT_TRUE(bmm.TopKAll(k, &expected).ok());
+    ExpectSameTopKScores(got, expected);
+  }
+}
+
+TEST(LempSolverTest, ThreadedMatchesSingleThreaded) {
+  const MFModel model = MakeTestModel(90, 250, 10, 41, 0.7);
+  LempOptions options;
+  options.forced_algorithm = 2;  // fixed algorithm: choice is deterministic
+  LempSolver single(options);
+  LempSolver threaded(options);
+  ThreadPool pool(4);
+  threaded.set_thread_pool(&pool);
+  ASSERT_TRUE(single.Prepare(ConstRowBlock(model.users),
+                             ConstRowBlock(model.items)).ok());
+  ASSERT_TRUE(threaded.Prepare(ConstRowBlock(model.users),
+                               ConstRowBlock(model.items)).ok());
+  TopKResult a;
+  TopKResult b;
+  ASSERT_TRUE(single.TopKAll(5, &a).ok());
+  ASSERT_TRUE(threaded.TopKAll(5, &b).ok());
+  ExpectSameTopKScores(a, b, 1e-12);
+}
+
+TEST(LempSolverTest, SubsetQueriesExact) {
+  const MFModel model = MakeTestModel(50, 150, 8, 43, 0.5);
+  LempSolver lemp;
+  BmmSolver bmm;
+  ASSERT_TRUE(lemp.Prepare(ConstRowBlock(model.users),
+                           ConstRowBlock(model.items)).ok());
+  ASSERT_TRUE(bmm.Prepare(ConstRowBlock(model.users),
+                          ConstRowBlock(model.items)).ok());
+  const std::vector<Index> subset = {49, 0, 25, 25};
+  TopKResult got;
+  TopKResult expected;
+  ASSERT_TRUE(lemp.TopKForUsers(3, subset, &got).ok());
+  ASSERT_TRUE(bmm.TopKForUsers(3, subset, &expected).ok());
+  ExpectSameTopKScores(got, expected);
+}
+
+TEST(LempSolverTest, QueryBeforePrepareFails) {
+  LempSolver lemp;
+  TopKResult out;
+  EXPECT_EQ(lemp.TopKForUsers(1, {}, &out).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(LempSolverTest, ZeroNormUserHandled) {
+  MFModel model = MakeTestModel(5, 30, 6, 47);
+  for (Index c = 0; c < 6; ++c) model.users(2, c) = 0;  // zero user
+  LempSolver lemp;
+  BmmSolver bmm;
+  ASSERT_TRUE(lemp.Prepare(ConstRowBlock(model.users),
+                           ConstRowBlock(model.items)).ok());
+  ASSERT_TRUE(bmm.Prepare(ConstRowBlock(model.users),
+                          ConstRowBlock(model.items)).ok());
+  TopKResult got;
+  TopKResult expected;
+  ASSERT_TRUE(lemp.TopKAll(3, &got).ok());
+  ASSERT_TRUE(bmm.TopKAll(3, &expected).ok());
+  ExpectSameTopKScores(got, expected);
+}
+
+TEST(LempSolverTest, ConstructionStageRecorded) {
+  const MFModel model = MakeTestModel(20, 100, 8, 53);
+  LempSolver lemp;
+  ASSERT_TRUE(lemp.Prepare(ConstRowBlock(model.users),
+                           ConstRowBlock(model.items)).ok());
+  EXPECT_GT(lemp.stage_timer().Get("construction"), 0.0);
+  EXPECT_FALSE(lemp.buckets().empty());
+}
+
+}  // namespace
+}  // namespace mips

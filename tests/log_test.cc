@@ -1,0 +1,37 @@
+// Tests for the logging module: level filtering and message assembly.
+
+#include <gtest/gtest.h>
+
+#include "common/log.h"
+
+namespace mips {
+namespace {
+
+TEST(LogTest, LevelRoundTrip) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LogTest, EmittingDoesNotCrashAtAnyLevel) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);  // suppress output during the test
+  MIPS_LOG(Debug) << "debug " << 1;
+  MIPS_LOG(Info) << "info " << 2.5;
+  MIPS_LOG(Warning) << "warning " << "three";
+  SetLogLevel(original);
+}
+
+TEST(LogTest, StreamsArbitraryTypes) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  const std::string s = "text";
+  MIPS_LOG(Info) << s << ' ' << 42 << ' ' << 1.5 << ' ' << true;
+  SetLogLevel(original);
+}
+
+}  // namespace
+}  // namespace mips

@@ -1,0 +1,246 @@
+// Unit tests for src/stats: Welford accumulation, the Student-t CDF
+// against known quantiles, the incremental t-test, and OPTIMUS's sampling
+// helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+#include "stats/sampling.h"
+#include "stats/student_t.h"
+#include "stats/ttest.h"
+#include "stats/welford.h"
+
+namespace mips {
+namespace {
+
+// -------------------------------------------------------------- Welford
+
+TEST(WelfordTest, EmptyAccumulator) {
+  Welford w;
+  EXPECT_EQ(w.count(), 0);
+  EXPECT_EQ(w.mean(), 0.0);
+  EXPECT_EQ(w.variance(), 0.0);
+  EXPECT_EQ(w.stderr_mean(), 0.0);
+}
+
+TEST(WelfordTest, MatchesTwoPassFormulas) {
+  Rng rng(5);
+  std::vector<double> xs;
+  Welford w;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.Normal(3.0, 2.0);
+    xs.push_back(x);
+    w.Add(x);
+  }
+  double mean = 0;
+  for (double x : xs) mean += x;
+  mean /= static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+
+  EXPECT_NEAR(w.mean(), mean, 1e-10);
+  EXPECT_NEAR(w.variance(), var, 1e-9);
+  EXPECT_NEAR(w.stderr_mean(), std::sqrt(var / 1000.0), 1e-10);
+}
+
+TEST(WelfordTest, SingleObservation) {
+  Welford w;
+  w.Add(4.2);
+  EXPECT_EQ(w.count(), 1);
+  EXPECT_DOUBLE_EQ(w.mean(), 4.2);
+  EXPECT_EQ(w.variance(), 0.0);
+}
+
+TEST(WelfordTest, ResetClears) {
+  Welford w;
+  w.Add(1);
+  w.Add(2);
+  w.Reset();
+  EXPECT_EQ(w.count(), 0);
+  EXPECT_EQ(w.mean(), 0.0);
+}
+
+TEST(WelfordTest, ConstantSequenceHasZeroVariance) {
+  Welford w;
+  for (int i = 0; i < 50; ++i) w.Add(7.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 7.0);
+  EXPECT_NEAR(w.variance(), 0.0, 1e-18);
+}
+
+// ------------------------------------------------------------ Student-t
+
+TEST(StudentTTest, CdfSymmetry) {
+  for (double df : {1.0, 5.0, 30.0}) {
+    for (double t : {0.5, 1.0, 2.5}) {
+      EXPECT_NEAR(StudentTCdf(t, df) + StudentTCdf(-t, df), 1.0, 1e-12);
+    }
+    EXPECT_NEAR(StudentTCdf(0.0, df), 0.5, 1e-12);
+  }
+}
+
+TEST(StudentTTest, KnownCriticalValues) {
+  // Standard t-table: P(T <= t_{0.975, df}) = 0.975.
+  EXPECT_NEAR(StudentTCdf(12.706, 1), 0.975, 1e-3);
+  EXPECT_NEAR(StudentTCdf(2.571, 5), 0.975, 1e-3);
+  EXPECT_NEAR(StudentTCdf(2.228, 10), 0.975, 1e-3);
+  EXPECT_NEAR(StudentTCdf(2.042, 30), 0.975, 1e-3);
+  // And the 95th percentile.
+  EXPECT_NEAR(StudentTCdf(1.812, 10), 0.95, 1e-3);
+}
+
+TEST(StudentTTest, ApproachesNormalForLargeDf) {
+  // t(1000) ~ N(0,1): P(T <= 1.96) ~ 0.975.
+  EXPECT_NEAR(StudentTCdf(1.96, 1000), 0.975, 2e-3);
+}
+
+TEST(StudentTTest, TwoSidedPValues) {
+  EXPECT_NEAR(StudentTTwoSidedPValue(2.228, 10), 0.05, 2e-3);
+  EXPECT_NEAR(StudentTTwoSidedPValue(-2.228, 10), 0.05, 2e-3);
+  EXPECT_NEAR(StudentTTwoSidedPValue(0.0, 10), 1.0, 1e-12);
+  EXPECT_EQ(StudentTTwoSidedPValue(
+                std::numeric_limits<double>::infinity(), 10),
+            0.0);
+}
+
+TEST(StudentTTest, IncompleteBetaEdges) {
+  EXPECT_EQ(RegularizedIncompleteBeta(2, 3, 0.0), 0.0);
+  EXPECT_EQ(RegularizedIncompleteBeta(2, 3, 1.0), 1.0);
+  // I_x(1,1) = x (uniform distribution).
+  EXPECT_NEAR(RegularizedIncompleteBeta(1, 1, 0.37), 0.37, 1e-10);
+  // I_x(2,1) = x^2.
+  EXPECT_NEAR(RegularizedIncompleteBeta(2, 1, 0.5), 0.25, 1e-10);
+}
+
+// --------------------------------------------------------------- t-test
+
+TEST(IncrementalTTestTest, RequiresMinimumObservations) {
+  IncrementalTTest test(0.0, 0.05, /*min_observations=*/8);
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_FALSE(test.Add(10.0 + i * 0.01).significant);
+  }
+  // The 8th observation far from mu0 with tiny variance is significant.
+  EXPECT_TRUE(test.Add(10.0).significant);
+}
+
+TEST(IncrementalTTestTest, NoRejectionWhenMeanMatches) {
+  Rng rng(21);
+  IncrementalTTest test(5.0, 0.01);
+  bool rejected = false;
+  for (int i = 0; i < 200; ++i) {
+    if (test.Add(rng.Normal(5.0, 1.0)).significant) rejected = true;
+  }
+  EXPECT_FALSE(rejected);
+}
+
+TEST(IncrementalTTestTest, RejectsClearDifferenceQuickly) {
+  Rng rng(22);
+  IncrementalTTest test(0.0, 0.05);
+  int needed = 0;
+  for (int i = 0; i < 1000; ++i) {
+    ++needed;
+    if (test.Add(rng.Normal(10.0, 0.5)).significant) break;
+  }
+  EXPECT_LE(needed, 10);  // should trigger right at min_observations
+}
+
+TEST(IncrementalTTestTest, ZeroVarianceHandling) {
+  IncrementalTTest same(3.0, 0.05, 2);
+  same.Add(3.0);
+  const TTestResult r1 = same.Add(3.0);
+  EXPECT_FALSE(r1.significant);
+  EXPECT_EQ(r1.p_value, 1.0);
+
+  IncrementalTTest diff(0.0, 0.05, 2);
+  diff.Add(3.0);
+  const TTestResult r2 = diff.Add(3.0);
+  EXPECT_TRUE(r2.significant);
+  EXPECT_EQ(r2.p_value, 0.0);
+}
+
+TEST(IncrementalTTestTest, TStatisticSign) {
+  IncrementalTTest test(5.0, 0.05, 2);
+  test.Add(1.0);
+  test.Add(2.0);
+  EXPECT_LT(test.Test().t_statistic, 0);  // sample mean below mu0
+}
+
+// ------------------------------------------------------------- Sampling
+
+TEST(SamplingTest, DistinctSortedInRange) {
+  Rng rng(31);
+  const auto sample = SampleWithoutReplacement(1000, 50, &rng);
+  ASSERT_EQ(sample.size(), 50u);
+  std::unordered_set<Index> seen;
+  Index prev = -1;
+  for (Index id : sample) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, 1000);
+    EXPECT_GT(id, prev);  // sorted ascending, hence distinct
+    prev = id;
+    seen.insert(id);
+  }
+  EXPECT_EQ(seen.size(), 50u);
+}
+
+TEST(SamplingTest, CountAtLeastNReturnsAll) {
+  Rng rng(32);
+  const auto sample = SampleWithoutReplacement(10, 25, &rng);
+  ASSERT_EQ(sample.size(), 10u);
+  for (Index i = 0; i < 10; ++i) {
+    EXPECT_EQ(sample[static_cast<std::size_t>(i)], i);
+  }
+}
+
+TEST(SamplingTest, EmptyCases) {
+  Rng rng(33);
+  EXPECT_TRUE(SampleWithoutReplacement(0, 5, &rng).empty());
+  EXPECT_TRUE(SampleWithoutReplacement(5, 0, &rng).empty());
+}
+
+TEST(SamplingTest, DeterministicGivenSeed) {
+  Rng a(34);
+  Rng b(34);
+  EXPECT_EQ(SampleWithoutReplacement(500, 20, &a),
+            SampleWithoutReplacement(500, 20, &b));
+}
+
+TEST(SamplingTest, RoughlyUniform) {
+  // Each of 100 ids should appear in a 10% sample about 100 times over
+  // 1000 trials.
+  std::vector<int> counts(100, 0);
+  Rng rng(35);
+  for (int trial = 0; trial < 1000; ++trial) {
+    for (Index id : SampleWithoutReplacement(100, 10, &rng)) {
+      ++counts[static_cast<std::size_t>(id)];
+    }
+  }
+  for (int c : counts) {
+    EXPECT_GT(c, 50);
+    EXPECT_LT(c, 170);
+  }
+}
+
+TEST(SamplingTest, CacheFillCount) {
+  // 256 KB / (50 dims * 8 B) = 655.36 -> 656 vectors.
+  EXPECT_EQ(MinVectorsToFillCache(50, 256 * 1024), 656);
+  // One giant vector fills any cache.
+  EXPECT_EQ(MinVectorsToFillCache(1 << 20, 1024), 1);
+  EXPECT_GE(MinVectorsToFillCache(0, 1024), 1);
+}
+
+TEST(SamplingTest, OptimizerSampleSizeTakesMax) {
+  // Ratio floor dominates: 0.5% of 1M users = 5000 > L2 fill (656).
+  EXPECT_EQ(OptimizerSampleSize(1000000, 0.005, 50, 256 * 1024), 5000);
+  // Cache floor dominates for small user sets.
+  EXPECT_EQ(OptimizerSampleSize(100000, 0.005, 50, 256 * 1024), 656);
+  // Clamped at n.
+  EXPECT_EQ(OptimizerSampleSize(300, 0.005, 50, 256 * 1024), 300);
+}
+
+}  // namespace
+}  // namespace mips

@@ -1,0 +1,207 @@
+// Unit and property tests for src/topk: the bounded heap and block
+// extraction, validated against a sort-based reference across a
+// parameterized (n, k) sweep.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "linalg/matrix.h"
+#include "topk/topk_block.h"
+#include "topk/topk_heap.h"
+
+namespace mips {
+namespace {
+
+// Reference top-K by full sort with the library's tie order.
+std::vector<TopKEntry> ReferenceTopK(const std::vector<Real>& scores,
+                                     Index k) {
+  std::vector<TopKEntry> all(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    all[i] = {static_cast<Index>(i), scores[i]};
+  }
+  std::sort(all.begin(), all.end(), [](const TopKEntry& a, const TopKEntry& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.item < b.item;
+  });
+  std::vector<TopKEntry> out(static_cast<std::size_t>(k));
+  for (Index e = 0; e < k; ++e) {
+    out[static_cast<std::size_t>(e)] =
+        e < static_cast<Index>(all.size())
+            ? all[static_cast<std::size_t>(e)]
+            : TopKEntry{-1, -std::numeric_limits<Real>::infinity()};
+  }
+  return out;
+}
+
+TEST(TopKHeapTest, EmptyHeapAcceptsEverything) {
+  TopKHeap heap(3);
+  EXPECT_FALSE(heap.full());
+  EXPECT_EQ(heap.MinScore(), -std::numeric_limits<Real>::infinity());
+  EXPECT_TRUE(heap.WouldAccept(-1e300));
+}
+
+TEST(TopKHeapTest, TracksMinimumWhenFull) {
+  TopKHeap heap(2);
+  heap.Push(0, 5.0);
+  heap.Push(1, 3.0);
+  EXPECT_TRUE(heap.full());
+  EXPECT_DOUBLE_EQ(heap.MinScore(), 3.0);
+  EXPECT_FALSE(heap.WouldAccept(3.0));  // must strictly beat the minimum
+  EXPECT_TRUE(heap.WouldAccept(3.5));
+  heap.Push(2, 4.0);
+  EXPECT_DOUBLE_EQ(heap.MinScore(), 4.0);
+}
+
+TEST(TopKHeapTest, RejectsNonImproving) {
+  TopKHeap heap(1);
+  EXPECT_TRUE(heap.Push(0, 1.0));
+  EXPECT_FALSE(heap.Push(1, 0.5));
+  EXPECT_FALSE(heap.Push(2, 1.0));  // ties do not replace
+  EXPECT_TRUE(heap.Push(3, 2.0));
+  TopKEntry out[1];
+  heap.ExtractDescending(out);
+  EXPECT_EQ(out[0].item, 3);
+}
+
+TEST(TopKHeapTest, ExtractSortsAndPads) {
+  TopKHeap heap(4);
+  heap.Push(7, 1.0);
+  heap.Push(8, 3.0);
+  TopKEntry out[4];
+  heap.ExtractDescending(out);
+  EXPECT_EQ(out[0].item, 8);
+  EXPECT_EQ(out[1].item, 7);
+  EXPECT_EQ(out[2].item, -1);
+  EXPECT_EQ(out[3].item, -1);
+  EXPECT_TRUE(std::isinf(out[2].score));
+  EXPECT_EQ(heap.size(), 0);  // extraction empties the heap
+}
+
+TEST(TopKHeapTest, TieBreaksByItemId) {
+  TopKHeap heap(3);
+  heap.Push(9, 2.0);
+  heap.Push(1, 2.0);
+  heap.Push(5, 2.0);
+  TopKEntry out[3];
+  heap.ExtractDescending(out);
+  EXPECT_EQ(out[0].item, 1);
+  EXPECT_EQ(out[1].item, 5);
+  EXPECT_EQ(out[2].item, 9);
+}
+
+TEST(TopKHeapTest, ClearResets) {
+  TopKHeap heap(2);
+  heap.Push(0, 1.0);
+  heap.Push(1, 2.0);
+  heap.Clear();
+  EXPECT_FALSE(heap.full());
+  EXPECT_EQ(heap.size(), 0);
+}
+
+class TopKPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(TopKPropertyTest, HeapMatchesSortReference) {
+  const auto [n, k, seed] = GetParam();
+  Rng rng(static_cast<uint64_t>(seed));
+  std::vector<Real> scores(static_cast<std::size_t>(n));
+  for (auto& s : scores) s = rng.Normal();
+  // Inject some duplicates to exercise tie handling.
+  if (n >= 4) {
+    scores[1] = scores[0];
+    scores[static_cast<std::size_t>(n - 1)] = scores[static_cast<std::size_t>(n / 2)];
+  }
+
+  TopKHeap heap(k);
+  for (Index i = 0; i < n; ++i) {
+    heap.Push(i, scores[static_cast<std::size_t>(i)]);
+  }
+  std::vector<TopKEntry> got(static_cast<std::size_t>(k));
+  heap.ExtractDescending(got.data());
+  const std::vector<TopKEntry> expected = ReferenceTopK(scores, k);
+  for (Index e = 0; e < k; ++e) {
+    EXPECT_EQ(got[static_cast<std::size_t>(e)].item,
+              expected[static_cast<std::size_t>(e)].item)
+        << "n=" << n << " k=" << k << " entry " << e;
+    EXPECT_EQ(got[static_cast<std::size_t>(e)].score,
+              expected[static_cast<std::size_t>(e)].score);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TopKPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 5, 16, 100, 1000),
+                       ::testing::Values(1, 2, 5, 10, 50),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(TopKFromRowTest, OffsetsItemIds) {
+  const std::vector<Real> scores = {1.0, 9.0, 5.0};
+  TopKEntry out[2];
+  TopKFromRow(scores.data(), 3, 2, /*item_offset=*/100, nullptr, out);
+  EXPECT_EQ(out[0].item, 101);
+  EXPECT_EQ(out[1].item, 102);
+}
+
+TEST(TopKFromRowTest, RemapsThroughItemIds) {
+  const std::vector<Real> scores = {1.0, 9.0, 5.0};
+  const std::vector<Index> ids = {70, 80, 90};
+  TopKEntry out[2];
+  TopKFromRow(scores.data(), 3, 2, 0, ids.data(), out);
+  EXPECT_EQ(out[0].item, 80);
+  EXPECT_DOUBLE_EQ(out[0].score, 9.0);
+  EXPECT_EQ(out[1].item, 90);
+}
+
+TEST(TopKFromScoreBlockTest, ReducesEveryRow) {
+  const Index m = 7;
+  const Index n = 23;
+  const Index k = 4;
+  Rng rng(99);
+  Matrix scores(m, n);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    scores.data()[i] = rng.Normal();
+  }
+  TopKResult result(m, k);
+  TopKFromScoreBlock(scores.data(), m, n, n, k, 0, nullptr, &result, 0);
+  for (Index r = 0; r < m; ++r) {
+    std::vector<Real> row(scores.Row(r), scores.Row(r) + n);
+    const auto expected = ReferenceTopK(row, k);
+    for (Index e = 0; e < k; ++e) {
+      EXPECT_EQ(result.Row(r)[e].item, expected[static_cast<std::size_t>(e)].item);
+    }
+  }
+}
+
+TEST(TopKFromScoreBlockTest, RespectsRowOffsetAndLds) {
+  const Index n = 5;
+  const Index lds = 8;  // padded leading dimension
+  Matrix scores(2, lds);
+  for (Index c = 0; c < n; ++c) {
+    scores(0, c) = c;        // best item: 4
+    scores(1, c) = -c;       // best item: 0
+  }
+  TopKResult result(4, 1);
+  TopKFromScoreBlock(scores.data(), 2, n, lds, 1, 0, nullptr, &result,
+                     /*row_offset=*/2);
+  EXPECT_EQ(result.Row(2)[0].item, 4);
+  EXPECT_EQ(result.Row(3)[0].item, 0);
+}
+
+TEST(TopKResultTest, CopyRowFrom) {
+  TopKResult a(2, 2);
+  a.Row(1)[0] = {5, 1.5};
+  a.Row(1)[1] = {6, 0.5};
+  TopKResult b(3, 2);
+  b.CopyRowFrom(a, 1, 2);
+  EXPECT_EQ(b.Row(2)[0].item, 5);
+  EXPECT_DOUBLE_EQ(b.Row(2)[1].score, 0.5);
+}
+
+}  // namespace
+}  // namespace mips
