@@ -57,8 +57,8 @@ std::vector<ModelPreset> SelectPresets(const BenchConfig& config) {
   return out;
 }
 
-std::unique_ptr<MipsSolver> MakeSolver(const std::string& name) {
-  auto solver = CreateSolver(name);
+std::unique_ptr<MipsSolver> MakeSolver(const std::string& spec) {
+  auto solver = CreateSolver(spec);
   solver.status().CheckOK();
   return std::move(solver).value();
 }

@@ -44,8 +44,10 @@ MFModel MakeBenchModel(const ModelPreset& preset, const BenchConfig& config);
 /// Presets selected by config.models (substring match on id).
 std::vector<ModelPreset> SelectPresets(const BenchConfig& config);
 
-/// Creates a paper-default solver by name; aborts on unknown names.
-std::unique_ptr<MipsSolver> MakeSolver(const std::string& name);
+/// Creates a solver from a registry spec ("name" = paper defaults,
+/// "name:key=value,..." overrides); aborts on malformed specs — bench
+/// binaries are leaf tools.
+std::unique_ptr<MipsSolver> MakeSolver(const std::string& spec);
 
 /// End-to-end wall time: Prepare + TopKAll.  Construction is included,
 /// matching the paper's end-to-end measurements ("which includes index

@@ -1,7 +1,7 @@
 // mips_cli: command-line exact MIPS over matrix files.
 //
-// Load user/item factor matrices (MIPSMAT1 binary or CSV), run any solver
-// or the OPTIMUS optimizer, and write the top-K results as CSV
+// Load user/item factor matrices (MIPSMAT1 binary or CSV), serve top-K
+// through the MipsEngine facade, and write the results as CSV
 // (user_id,rank,item_id,score).  The on-ramp for using this library
 // without writing C++:
 //
@@ -11,23 +11,25 @@
 //   # serve top-10 with the optimizer and inspect the decision
 //   ./build/examples/mips_cli --users=/tmp/u.bin --items=/tmp/i.bin
 //       --solver=optimus --k=10 --out=/tmp/topk.csv
+//   # or pick one solver and tune it via its spec
+//   ./build/examples/mips_cli --users=/tmp/u.bin --items=/tmp/i.bin
+//       --solver=maximus:clusters=64,block_size=2048
 //
-// --solver accepts: optimus (default; BMM vs MAXIMUS vs LEMP three-way),
-// or any registry solver: bmm, naive, lemp, fexipro-si, fexipro-sir,
-// maximus.
+// --solver accepts "optimus" (OPTIMUS over the --candidates list) or any
+// registry spec "name:key=value,...".  --list_solvers prints every
+// registered solver with its schema; malformed specs fail with an error
+// naming the offending key.
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common/flags.h"
 #include "common/timer.h"
-#include "core/maximus.h"
-#include "core/optimus.h"
-#include "core/registry.h"
+#include "core/engine.h"
 #include "data/datasets.h"
 #include "data/io.h"
-#include "solvers/bmm.h"
-#include "solvers/lemp/lemp.h"
+#include "solvers/registry.h"
 
 using namespace mips;
 
@@ -55,6 +57,20 @@ Status WriteTopKCsv(const TopKResult& result, const std::string& path) {
                              : Status::IOError("close failed: " + path);
 }
 
+// Splits the --candidates list on ';' (specs contain ',' internally).
+std::vector<std::string> SplitCandidates(const std::string& csv) {
+  std::vector<std::string> specs;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    std::size_t sep = csv.find(';', pos);
+    if (sep == std::string::npos) sep = csv.size();
+    const std::string spec = csv.substr(pos, sep - pos);
+    if (!spec.empty()) specs.push_back(spec);
+    pos = sep + 1;
+  }
+  return specs;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -62,19 +78,27 @@ int main(int argc, char** argv) {
   std::string users_path;
   std::string items_path;
   std::string out_path = "/tmp/topk.csv";
-  std::string solver_name = "optimus";
+  std::string solver_spec = "optimus";
+  std::string candidates = "bmm;maximus;lemp";
   std::string demo;
   std::string users_out = "/tmp/mips_users.bin";
   std::string items_out = "/tmp/mips_items.bin";
   int32_t k = 10;
+  int32_t threads = 0;
+  bool list_solvers = false;
   double demo_scale = 1.0;
   flags.String("users", &users_path, "user factor matrix (.bin or .csv)");
   flags.String("items", &items_path, "item factor matrix (.bin or .csv)");
   flags.String("out", &out_path, "output CSV path");
-  flags.String("solver", &solver_name,
-               "optimus | bmm | naive | lemp | fexipro-si | fexipro-sir | "
-               "maximus");
+  flags.String("solver", &solver_spec,
+               "\"optimus\" or a registry spec \"name:key=value,...\" "
+               "(see --list_solvers)");
+  flags.String("candidates", &candidates,
+               "';'-separated candidate specs for --solver=optimus");
   flags.Int32("k", &k, "top-K size");
+  flags.Int32("threads", &threads, "worker threads (0 = single-threaded)");
+  flags.Bool("list_solvers", &list_solvers,
+             "print every registered solver with its parameter schema");
   flags.String("demo", &demo,
                "generate a preset model instead of serving (preset id, "
                "e.g. netflix-nomad-50)");
@@ -82,6 +106,12 @@ int main(int argc, char** argv) {
   flags.String("users_out", &users_out, "--demo: where to write users");
   flags.String("items_out", &items_out, "--demo: where to write items");
   flags.Parse(argc, argv).CheckOK();
+
+  // --- Schema listing mode. ---
+  if (list_solvers) {
+    std::printf("%s", SolverHelpText().c_str());
+    return 0;
+  }
 
   // --- Demo-generation mode. ---
   if (!demo.empty()) {
@@ -122,33 +152,32 @@ int main(int argc, char** argv) {
   std::printf("model: %d users x %d items, f=%d; k=%d\n", users->rows(),
               items->rows(), users->cols(), k);
 
-  TopKResult result;
+  EngineOptions options;
+  options.k = k;
+  options.threads = threads;
+  const bool use_optimus = solver_spec == "optimus";
+  options.solvers =
+      use_optimus ? SplitCandidates(candidates)
+                  : std::vector<std::string>{solver_spec};
+
   WallTimer timer;
-  if (solver_name == "optimus") {
-    BmmSolver bmm;
-    MaximusSolver maximus;
-    LempSolver lemp;
-    Optimus optimus;
-    OptimusReport report;
-    optimus
-        .Run(ConstRowBlock(*users), ConstRowBlock(*items), k,
-             {&bmm, &maximus, &lemp}, &result, &report)
-        .CheckOK();
+  auto engine =
+      MipsEngine::Open(ConstRowBlock(*users), ConstRowBlock(*items), options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    return 2;
+  }
+  if (use_optimus) {
+    const OptimusReport& report = (*engine)->decision_report();
     std::printf("OPTIMUS chose %s; estimates:", report.chosen.c_str());
     for (const auto& est : report.estimates) {
       std::printf(" %s=%.3fs", est.name.c_str(), est.est_total_seconds);
     }
     std::printf("\n");
-  } else {
-    auto solver = CreateSolver(solver_name);
-    if (!solver.ok()) {
-      std::fprintf(stderr, "%s\n", solver.status().ToString().c_str());
-      return 2;
-    }
-    (*solver)->Prepare(ConstRowBlock(*users), ConstRowBlock(*items))
-        .CheckOK();
-    (*solver)->TopKAll(k, &result).CheckOK();
   }
+
+  TopKResult result;
+  (*engine)->TopKAll(k, &result).CheckOK();
   const double elapsed = timer.Seconds();
   WriteTopKCsv(result, out_path).CheckOK();
   std::printf("served %d users in %.3f s (%.1f us/user); results -> %s\n",

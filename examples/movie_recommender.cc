@@ -1,23 +1,23 @@
 // Movie recommender: the paper's Figure 1 scenario end to end.
 //
 //   ratings matrix --(SGD matrix factorization)--> user/item factors
-//                  --(OPTIMUS)--> exact top-K movies per user
+//                  --(MipsEngine)--> exact top-K movies per user
 //
-// Demonstrates: the MF trainer, model persistence, OPTIMUS serving, and
-// the dynamic-user path (a brand-new user gets exact recommendations
-// without re-clustering, Section III-E).
+// Demonstrates: the MF trainer, model persistence, spec-driven engine
+// serving, and the dynamic-user path (a brand-new user gets exact
+// recommendations without re-clustering, Section III-E) — all without
+// naming a single concrete solver type.
 //
 // Build & run:  ./build/examples/movie_recommender
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common/rng.h"
-#include "core/maximus.h"
-#include "core/optimus.h"
+#include "core/engine.h"
 #include "data/io.h"
 #include "data/mf_trainer.h"
-#include "solvers/bmm.h"
 
 int main() {
   using namespace mips;
@@ -52,36 +52,37 @@ int main() {
   std::printf("factors persisted and reloaded (%s, %s)\n", user_path.c_str(),
               item_path.c_str());
 
-  // --- 3. Serve exact top-10 for everyone via OPTIMUS. ---
-  BmmSolver bmm;
-  MaximusSolver maximus;
-  Optimus optimus;
+  // --- 3. Serve exact top-10 for everyone through the engine. ---
+  EngineOptions options;
+  options.k = 10;
+  options.solvers = {"bmm", "maximus"};
+  auto engine =
+      MipsEngine::Open(ConstRowBlock(*users), ConstRowBlock(*items), options);
+  engine.status().CheckOK();
   TopKResult top10;
-  OptimusReport report;
-  optimus
-      .Run(ConstRowBlock(*users), ConstRowBlock(*items), /*k=*/10,
-           {&bmm, &maximus}, &top10, &report)
-      .CheckOK();
-  std::printf("\nOPTIMUS chose %s; end-to-end %.3f s for %d users\n",
-              report.chosen.c_str(), report.total_seconds, num_users);
+  (*engine)->TopKAll(10, &top10).CheckOK();
+  std::printf("\nOPTIMUS chose %s; decision %.3f s, serve %.3f s for %d "
+              "users\n",
+              (*engine)->strategy().c_str(),
+              (*engine)->decision_report().total_seconds,
+              (*engine)->stats().serve_seconds, num_users);
   std::printf("user 0 top-5 movies:");
   for (Index e = 0; e < 5; ++e) {
     std::printf("  #%d (%.2f)", top10.Row(0)[e].item, top10.Row(0)[e].score);
   }
   std::printf("\n");
 
-  // --- 4. A new user arrives after clustering (Section III-E). ---
-  // MAXIMUS serves them exactly by assigning to the nearest centroid and
-  // widening the bound; no re-clustering needed.
-  MaximusSolver index;
-  index.Prepare(ConstRowBlock(*users), ConstRowBlock(*items)).CheckOK();
+  // --- 4. A new user arrives after the decision (Section III-E). ---
+  // The engine serves them exactly whatever strategy won: MAXIMUS's
+  // dynamic-user walk when an index is bound, a dense scoring row
+  // otherwise.  No re-clustering, no concrete types.
   Rng rng(99);
   std::vector<Real> new_user(16);
   for (auto& v : new_user) v = static_cast<Real>(rng.Normal(0.0, 0.3));
   std::vector<TopKEntry> recs(10);
-  index.QueryDynamicUser(new_user.data(), 10, recs.data()).CheckOK();
-  std::printf("new (unclustered) user assigned to cluster %d; top-5:",
-              index.AssignNewUser(new_user.data()));
+  (*engine)->TopKNewUser(new_user.data(), 10, recs.data()).CheckOK();
+  std::printf("new (unclustered) user served via %s; top-5:",
+              (*engine)->strategy().c_str());
   for (Index e = 0; e < 5; ++e) {
     std::printf("  #%d (%.2f)", recs[static_cast<std::size_t>(e)].item,
                 recs[static_cast<std::size_t>(e)].score);

@@ -1,19 +1,17 @@
 // Optimizer tour: "to index or not to index?" answered live.
 //
-// Runs the three-way OPTIMUS (BMM + LEMP + MAXIMUS) across a slice of the
-// reference model presets and prints which strategy it picks for each —
-// the paper's thesis that the best exact-MIPS strategy is data-dependent,
-// as an executable.
+// Opens a three-way MipsEngine (BMM + LEMP + MAXIMUS, all as specs)
+// across a slice of the reference model presets and prints which
+// strategy OPTIMUS picks for each — the paper's thesis that the best
+// exact-MIPS strategy is data-dependent, as an executable.
 //
 // Build & run:  ./build/examples/optimizer_tour
 
 #include <cstdio>
+#include <string>
 
-#include "core/maximus.h"
-#include "core/optimus.h"
+#include "core/engine.h"
 #include "data/datasets.h"
-#include "solvers/bmm.h"
-#include "solvers/lemp/lemp.h"
 
 int main() {
   using namespace mips;
@@ -26,23 +24,20 @@ int main() {
       "glove-twitter-50",  // items >> users: it depends
   };
   std::printf("%-20s %-10s %-40s %s\n", "model", "chosen", "estimates (s)",
-              "total (s)");
+              "decision (s)");
   for (const char* id : tour) {
     auto preset = FindModelPreset(id);
     preset.status().CheckOK();
     auto model = MakeModel(*preset, /*scale_multiplier=*/1.0);
     model.status().CheckOK();
 
-    BmmSolver bmm;
-    LempSolver lemp;
-    MaximusSolver maximus;
-    Optimus optimus;
-    TopKResult top1;
-    OptimusReport report;
-    optimus
-        .Run(ConstRowBlock(model->users), ConstRowBlock(model->items),
-             /*k=*/1, {&bmm, &lemp, &maximus}, &top1, &report)
-        .CheckOK();
+    EngineOptions options;
+    options.k = 1;
+    options.solvers = {"bmm", "lemp", "maximus"};
+    auto engine = MipsEngine::Open(ConstRowBlock(model->users),
+                                   ConstRowBlock(model->items), options);
+    engine.status().CheckOK();
+    const OptimusReport& report = (*engine)->decision_report();
 
     std::string estimates;
     for (const auto& est : report.estimates) {

@@ -2,18 +2,18 @@
 //
 //   1. Build (or load) a factored model: a users matrix and an items
 //      matrix with the same number of latent factors.
-//   2. Hand it to OPTIMUS with the strategies you are willing to run
-//      (here: blocked matrix multiply and the MAXIMUS index).
+//   2. Open a MipsEngine with the strategies you are willing to run,
+//      written as specs — strategies are data, not types.  OPTIMUS
+//      builds each candidate index, measures a small user sample, and
+//      binds the engine to the winner.
 //   3. Read back exact top-K recommendations for every user.
 //
 // Build & run:  ./build/examples/quickstart
 
 #include <cstdio>
 
-#include "core/maximus.h"
-#include "core/optimus.h"
+#include "core/engine.h"
 #include "data/synthetic.h"
-#include "solvers/bmm.h"
 
 int main() {
   using namespace mips;
@@ -30,19 +30,16 @@ int main() {
   auto model = GenerateSyntheticModel(config);
   model.status().CheckOK();
 
-  // Candidate serving strategies.  OPTIMUS builds each index, measures a
-  // small user sample, and serves everyone with the winner.
-  BmmSolver bmm;
-  MaximusSolver maximus;
-  Optimus optimus;
+  // Candidate serving strategies, as registry specs.  Any registered
+  // solver works here; key=value pairs override its schema defaults.
+  EngineOptions options;
+  options.k = 10;
+  options.solvers = {"bmm", "maximus:clusters=32"};
+  auto engine = MipsEngine::Open(ConstRowBlock(model->users),
+                                 ConstRowBlock(model->items), options);
+  engine.status().CheckOK();
 
-  TopKResult top10;
-  OptimusReport report;
-  optimus
-      .Run(ConstRowBlock(model->users), ConstRowBlock(model->items),
-           /*k=*/10, {&bmm, &maximus}, &top10, &report)
-      .CheckOK();
-
+  const OptimusReport& report = (*engine)->decision_report();
   std::printf("OPTIMUS chose: %s (sample of %d users)\n",
               report.chosen.c_str(), report.sample_size);
   for (const auto& est : report.estimates) {
@@ -50,7 +47,11 @@ int main() {
                 est.name.c_str(), est.est_total_seconds,
                 est.construction_seconds);
   }
-  std::printf("total wall time: %.3f s\n\n", report.total_seconds);
+
+  TopKResult top10;
+  (*engine)->TopKAll(10, &top10).CheckOK();
+  std::printf("served %d users; cumulative serve time %.3f s\n\n",
+              (*engine)->num_users(), (*engine)->stats().serve_seconds);
 
   // Top-5 of the first three users.
   for (Index u = 0; u < 3; ++u) {

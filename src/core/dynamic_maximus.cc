@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cstring>
+#include <memory>
 #include <numeric>
+
+#include "solvers/registry.h"
 
 namespace mips {
 
@@ -87,6 +90,40 @@ Status DynamicMaximus::TopKForUser(Index user_id, Index k,
   return index_->QueryDynamicUser(users_.Row(user_id), k, out_row);
 }
 
+Status DynamicMaximus::TopKForUsers(Index k, std::span<const Index> user_ids,
+                                    TopKResult* out) const {
+  if (index_ == nullptr) {
+    return Status::FailedPrecondition("Initialize was not called");
+  }
+  const Index q = static_cast<Index>(user_ids.size());
+  *out = TopKResult(q, k);
+  // Indexed members batch through the inner index; pending users take
+  // the exact dynamic walk.
+  std::vector<Index> indexed_ids;
+  std::vector<Index> indexed_rows;
+  for (Index r = 0; r < q; ++r) {
+    const Index id = user_ids[static_cast<std::size_t>(r)];
+    if (id < 0 || id >= count_) {
+      return Status::OutOfRange("unknown user id");
+    }
+    if (id < indexed_count_) {
+      indexed_ids.push_back(id);
+      indexed_rows.push_back(r);
+    } else {
+      MIPS_RETURN_IF_ERROR(
+          index_->QueryDynamicUser(users_.Row(id), k, out->Row(r)));
+    }
+  }
+  if (!indexed_ids.empty()) {
+    TopKResult batch;
+    MIPS_RETURN_IF_ERROR(index_->TopKForUsers(k, indexed_ids, &batch));
+    for (std::size_t i = 0; i < indexed_rows.size(); ++i) {
+      out->CopyRowFrom(batch, static_cast<Index>(i), indexed_rows[i]);
+    }
+  }
+  return Status::OK();
+}
+
 Status DynamicMaximus::TopKAll(Index k, TopKResult* out) {
   if (index_ == nullptr) {
     return Status::FailedPrecondition("Initialize was not called");
@@ -113,5 +150,50 @@ Status DynamicMaximus::Recluster() {
   }
   return Rebuild();
 }
+
+Status DynamicMaximusSolver::Prepare(const ConstRowBlock& users,
+                                     const ConstRowBlock& items) {
+  MIPS_RETURN_IF_ERROR(dynamic_.Initialize(users, items));
+  prepared_users_ = users.rows();
+  return Status::OK();
+}
+
+Status DynamicMaximusSolver::TopKForUsers(Index k,
+                                          std::span<const Index> user_ids,
+                                          TopKResult* out) {
+  return dynamic_.TopKForUsers(k, user_ids, out);
+}
+
+Status DynamicMaximusSolver::QueryNewUser(const Real* user, Index k,
+                                          TopKEntry* out_row) const {
+  if (prepared_users_ == 0) {
+    return Status::FailedPrecondition("Prepare was not called");
+  }
+  return dynamic_.index().QueryDynamicUser(user, k, out_row);
+}
+
+namespace {
+
+const SolverRegistrar kDynamicMaximusRegistrar(
+    [] {
+      SolverSchema schema("dynamic-maximus",
+                          "MAXIMUS with user churn and automatic "
+                          "re-clustering (Section III-E)");
+      AddMaximusSchemaParams(&schema);
+      schema.Real("recluster_churn_fraction",
+                  DynamicMaximusOptions{}.recluster_churn_fraction,
+                  "rebuild when pending users exceed this fraction of the "
+                  "indexed population (<= 0 disables)");
+      return schema;
+    }(),
+    [](const ParamMap& params) -> StatusOr<std::unique_ptr<MipsSolver>> {
+      DynamicMaximusOptions options;
+      MIPS_RETURN_IF_ERROR(ParseMaximusOptions(params, &options.base));
+      options.recluster_churn_fraction =
+          params.GetReal("recluster_churn_fraction");
+      return std::unique_ptr<MipsSolver>(new DynamicMaximusSolver(options));
+    });
+
+}  // namespace
 
 }  // namespace mips

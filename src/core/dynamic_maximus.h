@@ -52,6 +52,12 @@ class DynamicMaximus {
   /// Exact top-K for any user id (initial or added).
   Status TopKForUser(Index user_id, Index k, TopKEntry* out_row) const;
 
+  /// Batch exact top-K for a mix of indexed and pending user ids:
+  /// indexed members go through the inner index's blocked path in one
+  /// call, pending users fall back to the dynamic walk.
+  Status TopKForUsers(Index k, std::span<const Index> user_ids,
+                      TopKResult* out) const;
+
   /// Exact top-K for every current user.
   Status TopKAll(Index k, TopKResult* out);
 
@@ -79,6 +85,36 @@ class DynamicMaximus {
   Index indexed_count_ = 0;
   int recluster_rounds_ = -1;  // Initialize() brings this to 0
   std::unique_ptr<MaximusSolver> index_;
+};
+
+/// Adapts DynamicMaximus to the MipsSolver interface so the registry,
+/// OPTIMUS, and MipsEngine can drive a churn-capable MAXIMUS like any
+/// other strategy.  Prepare() (re)initializes the index over the given
+/// users; the churn APIs (AddUser, Recluster, ...) remain reachable
+/// through dynamic().  The MipsSolver surface addresses the Prepare-time
+/// population — users appended later are served via dynamic().
+class DynamicMaximusSolver : public MipsSolver {
+ public:
+  explicit DynamicMaximusSolver(const DynamicMaximusOptions& options = {})
+      : dynamic_(options) {}
+
+  std::string name() const override { return "dynamic-maximus"; }
+  bool batches_users() const override { return true; }
+
+  Status Prepare(const ConstRowBlock& users,
+                 const ConstRowBlock& items) override;
+  Status TopKForUsers(Index k, std::span<const Index> user_ids,
+                      TopKResult* out) override;
+
+  /// Exact top-K for a vector outside the indexed population
+  /// (Section III-E dynamic walk on the inner index).
+  Status QueryNewUser(const Real* user, Index k, TopKEntry* out_row) const;
+
+  DynamicMaximus& dynamic() { return dynamic_; }
+  const DynamicMaximus& dynamic() const { return dynamic_; }
+
+ private:
+  DynamicMaximus dynamic_;
 };
 
 }  // namespace mips

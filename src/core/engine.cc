@@ -1,0 +1,184 @@
+#include "core/engine.h"
+
+#include <numeric>
+
+#include "common/timer.h"
+#include "core/dynamic_maximus.h"
+#include "core/maximus.h"
+#include "linalg/blas.h"
+#include "solvers/registry.h"
+#include "topk/topk_heap.h"
+
+namespace mips {
+
+StatusOr<std::unique_ptr<MipsEngine>> MipsEngine::Open(
+    const ConstRowBlock& users, const ConstRowBlock& items,
+    const EngineOptions& options) {
+  if (options.k <= 0) {
+    return Status::InvalidArgument("k must be positive");
+  }
+  if (options.solvers.empty()) {
+    return Status::InvalidArgument(
+        "engine needs at least one candidate solver spec");
+  }
+  if (users.rows() <= 0 || items.rows() <= 0) {
+    return Status::InvalidArgument("user and item sets must be non-empty");
+  }
+  if (users.cols() != items.cols()) {
+    return Status::InvalidArgument("user/item factor dimensions differ");
+  }
+  if (options.threads < 0) {
+    return Status::InvalidArgument("threads must be >= 0");
+  }
+
+  std::unique_ptr<MipsEngine> engine(new MipsEngine());
+  engine->users_ = users;
+  engine->items_ = items;
+  engine->options_ = options;
+
+  for (const std::string& spec : options.solvers) {
+    auto solver = SolverRegistry::Global().Create(spec);
+    MIPS_RETURN_IF_ERROR(solver.status());
+    engine->names_.push_back((*solver)->name());
+    engine->specs_.push_back(spec);
+    engine->solvers_.push_back(std::move(*solver));
+  }
+  if (options.threads > 0) {
+    engine->pool_ = std::make_unique<ThreadPool>(options.threads);
+    for (auto& solver : engine->solvers_) {
+      solver->set_thread_pool(engine->pool_.get());
+    }
+  }
+
+  if (engine->solvers_.size() == 1) {
+    // Nothing to decide: prepare the only candidate and serve with it.
+    WallTimer timer;
+    MIPS_RETURN_IF_ERROR(engine->solvers_[0]->Prepare(users, items));
+    engine->report_.chosen = engine->names_[0];
+    engine->report_.construction_seconds = timer.Seconds();
+    engine->report_.total_seconds = engine->report_.construction_seconds;
+    engine->winner_by_k_[options.k] = 0;
+    return engine;
+  }
+
+  std::vector<MipsSolver*> raw;
+  for (const auto& solver : engine->solvers_) raw.push_back(solver.get());
+  Optimus optimus(options.optimus);
+  std::size_t winner = 0;
+  MIPS_RETURN_IF_ERROR(optimus.Decide(users, items, options.k, raw, &winner,
+                                      &engine->report_));
+  engine->winner_by_k_[options.k] = winner;
+  return engine;
+}
+
+StatusOr<std::size_t> MipsEngine::StrategyForK(Index k) {
+  if (forced_ != kNoForcedStrategy) return forced_;
+  auto it = winner_by_k_.find(k);
+  if (it != winner_by_k_.end()) return it->second;
+  if (!options_.redecide_on_new_k || solvers_.size() < 2) {
+    // Fall back to the opening decision: still exact, possibly not the
+    // fastest strategy for this k.
+    return winner_by_k_.at(options_.k);
+  }
+  // The decision k and the query k diverged: re-run the sampling
+  // decision at the new k and cache the winner.  The candidates were
+  // all Prepared at Open (indexes are k-independent), so only the
+  // sampling measurement is repeated.
+  std::vector<MipsSolver*> raw;
+  for (const auto& solver : solvers_) raw.push_back(solver.get());
+  Optimus optimus(options_.optimus);
+  std::size_t winner = 0;
+  OptimusReport report;
+  MIPS_RETURN_IF_ERROR(
+      optimus.DecidePrepared(users_, items_, k, raw, &winner, &report));
+  winner_by_k_[k] = winner;
+  ++stats_.redecisions;
+  stats_.redecision_seconds += report.total_seconds;
+  return winner;
+}
+
+Status MipsEngine::TopK(Index k, std::span<const Index> user_ids,
+                        TopKResult* out) {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  for (const Index id : user_ids) {
+    if (id < 0 || id >= users_.rows()) {
+      return Status::OutOfRange("user id out of range: " +
+                                std::to_string(id));
+    }
+  }
+  auto strategy = StrategyForK(k);
+  MIPS_RETURN_IF_ERROR(strategy.status());
+  WallTimer timer;
+  MIPS_RETURN_IF_ERROR(solvers_[*strategy]->TopKForUsers(k, user_ids, out));
+  stats_.serve_seconds += timer.Seconds();
+  ++stats_.batches_served;
+  stats_.users_served += static_cast<int64_t>(user_ids.size());
+  return Status::OK();
+}
+
+Status MipsEngine::TopKAll(Index k, TopKResult* out) {
+  std::vector<Index> ids(static_cast<std::size_t>(users_.rows()));
+  std::iota(ids.begin(), ids.end(), 0);
+  return TopK(k, ids, out);
+}
+
+Status MipsEngine::TopKNewUser(const Real* user_vector, Index k,
+                               TopKEntry* out_row) {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  auto strategy = StrategyForK(k);
+  MIPS_RETURN_IF_ERROR(strategy.status());
+  MipsSolver* solver = solvers_[*strategy].get();
+  WallTimer timer;
+  if (auto* maximus = dynamic_cast<MaximusSolver*>(solver)) {
+    // Exact dynamic-user walk (Section III-E).
+    MIPS_RETURN_IF_ERROR(maximus->QueryDynamicUser(user_vector, k, out_row));
+  } else if (auto* dynamic = dynamic_cast<DynamicMaximusSolver*>(solver)) {
+    MIPS_RETURN_IF_ERROR(dynamic->QueryNewUser(user_vector, k, out_row));
+  } else {
+    // Dense scoring row: one pass of inner products + heap.  Exact and
+    // strategy-independent; a single user cannot exploit blocking anyway.
+    const Index n = items_.rows();
+    const Index f = items_.cols();
+    TopKHeap heap(k);
+    for (Index i = 0; i < n; ++i) {
+      heap.Push(i, Dot(user_vector, items_.Row(i), f));
+    }
+    heap.ExtractDescending(out_row);
+  }
+  stats_.serve_seconds += timer.Seconds();
+  ++stats_.new_users_served;
+  return Status::OK();
+}
+
+Status MipsEngine::ForceStrategy(const std::string& name_or_spec) {
+  // Solver name first; the exact opening spec disambiguates when two
+  // candidates are tuned variants of the same solver.
+  for (std::size_t s = 0; s < names_.size(); ++s) {
+    if (names_[s] == name_or_spec) {
+      forced_ = s;
+      return Status::OK();
+    }
+  }
+  for (std::size_t s = 0; s < specs_.size(); ++s) {
+    if (specs_[s] == name_or_spec) {
+      forced_ = s;
+      return Status::OK();
+    }
+  }
+  std::string candidates;
+  for (const std::string& candidate : specs_) {
+    if (!candidates.empty()) candidates += ", ";
+    candidates += candidate;
+  }
+  return Status::NotFound("no candidate named \"" + name_or_spec +
+                          "\" (candidates: " + candidates + ")");
+}
+
+void MipsEngine::ClearForcedStrategy() { forced_ = kNoForcedStrategy; }
+
+const std::string& MipsEngine::strategy() const {
+  if (forced_ != kNoForcedStrategy) return names_[forced_];
+  return names_[winner_by_k_.at(options_.k)];
+}
+
+}  // namespace mips

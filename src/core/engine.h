@@ -1,0 +1,143 @@
+// MipsEngine: the one configuration-driven entry point for exact MIPS
+// serving.
+//
+// Callers hand Open() a model plus candidate strategies *as specs*
+// ("bmm", "maximus:clusters=64", ...).  The engine builds every
+// candidate via the solver registry, runs the OPTIMUS decision once at
+// the configured k, owns the solvers and the optional thread pool, and
+// then serves:
+//
+//   * TopK(k, user_ids)   — mini-batches of known users at any k.  When
+//     a call's k diverges from the k the decision was made at, the
+//     engine re-runs the (cheap, sampling-based) decision for the new k
+//     and caches the winner — or falls back to the opening winner when
+//     re-deciding is disabled.  Either way every answer stays exact.
+//   * TopKAll(k)          — every prepared user.
+//   * TopKNewUser(...)    — a vector outside the prepared user matrix
+//     (Section III-E): MAXIMUS's dynamic walk when a MAXIMUS-family
+//     strategy is chosen, a dense scoring row otherwise.
+//
+// ForceStrategy() overrides the optimizer by candidate name (benches,
+// lesion studies, operator escape hatch); stats() accumulates cumulative
+// serving counters.  ServingSession (serving.h) is a thin compatibility
+// wrapper over this class.
+
+#ifndef MIPS_CORE_ENGINE_H_
+#define MIPS_CORE_ENGINE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "core/optimus.h"
+#include "solvers/solver.h"
+
+namespace mips {
+
+/// Configuration for MipsEngine::Open.
+struct EngineOptions {
+  /// The k the opening OPTIMUS decision is made at (queries may use any
+  /// k; see redecide_on_new_k).
+  Index k = 10;
+  /// Candidate strategies as registry specs.  One candidate skips the
+  /// decision; two or more run OPTIMUS.
+  std::vector<std::string> solvers = {"bmm", "maximus"};
+  /// Optimizer knobs for the opening (and any per-k re-) decision.
+  OptimusOptions optimus;
+  /// Worker threads owned by the engine and shared by all candidates
+  /// (0 = single-threaded).
+  int threads = 0;
+  /// When a query's k has no cached decision: true re-runs the OPTIMUS
+  /// decision at that k (and caches it), false reuses the opening
+  /// winner.  Exactness is unaffected either way.
+  bool redecide_on_new_k = true;
+};
+
+/// A long-lived exact-MIPS serving engine over one (users, items) model.
+/// The model views must outlive the engine.
+class MipsEngine {
+ public:
+  /// Builds the candidates from their specs, prepares them, and runs the
+  /// opening OPTIMUS decision.  Spec errors (unknown solver, unknown or
+  /// ill-typed parameter) are returned verbatim from the registry.
+  static StatusOr<std::unique_ptr<MipsEngine>> Open(
+      const ConstRowBlock& users, const ConstRowBlock& items,
+      const EngineOptions& options = {});
+
+  /// Exact top-K for a mini-batch of known users (ids into the engine's
+  /// user matrix), served by the strategy decided for this k.
+  Status TopK(Index k, std::span<const Index> user_ids, TopKResult* out);
+
+  /// Exact top-K for every prepared user.
+  Status TopKAll(Index k, TopKResult* out);
+
+  /// Exact top-K for a user vector that is NOT in the prepared user
+  /// matrix.  `out_row` must hold k entries.
+  Status TopKNewUser(const Real* user_vector, Index k, TopKEntry* out_row);
+
+  /// Overrides the optimizer: every subsequent query uses the candidate
+  /// whose solver name — or, for tuned variants of the same solver,
+  /// whose exact opening spec — matches `name_or_spec`.  NotFound if no
+  /// candidate matches.
+  Status ForceStrategy(const std::string& name_or_spec);
+  /// Returns to decision-driven strategy selection.
+  void ClearForcedStrategy();
+
+  /// Name of the strategy serving the engine's decision k right now
+  /// (the forced strategy when one is set).
+  const std::string& strategy() const;
+  /// The opening decision trace (empty estimates for single-candidate
+  /// engines).
+  const OptimusReport& decision_report() const { return report_; }
+  /// Solver names of the candidates, in spec order.  Two tuned variants
+  /// of the same solver share a name; candidate_specs() disambiguates.
+  const std::vector<std::string>& candidate_names() const { return names_; }
+  /// The opening specs, verbatim, in order.
+  const std::vector<std::string>& candidate_specs() const { return specs_; }
+
+  Index num_users() const { return users_.rows(); }
+  Index num_items() const { return items_.rows(); }
+  Index num_factors() const { return items_.cols(); }
+
+  /// Cumulative serving statistics.
+  struct Stats {
+    int64_t batches_served = 0;
+    int64_t users_served = 0;
+    int64_t new_users_served = 0;
+    /// Per-k OPTIMUS re-decisions triggered by diverging query ks.
+    int64_t redecisions = 0;
+    double serve_seconds = 0;
+    double redecision_seconds = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  MipsEngine() = default;
+
+  /// Index into solvers_ of the strategy serving k (decides and caches
+  /// on a miss).
+  StatusOr<std::size_t> StrategyForK(Index k);
+
+  ConstRowBlock users_;
+  ConstRowBlock items_;
+  EngineOptions options_;
+  std::unique_ptr<ThreadPool> pool_;
+  std::vector<std::unique_ptr<MipsSolver>> solvers_;
+  std::vector<std::string> names_;  // solver names, parallel to solvers_
+  std::vector<std::string> specs_;  // opening specs, parallel to solvers_
+
+  std::map<Index, std::size_t> winner_by_k_;
+  std::size_t forced_ = kNoForcedStrategy;
+  OptimusReport report_;
+  Stats stats_;
+
+  static constexpr std::size_t kNoForcedStrategy =
+      static_cast<std::size_t>(-1);
+};
+
+}  // namespace mips
+
+#endif  // MIPS_CORE_ENGINE_H_

@@ -22,7 +22,7 @@ struct Optimus::SampleMeasurement {
 Status Optimus::DecideInternal(const ConstRowBlock& users,
                                const ConstRowBlock& items, Index k,
                                const std::vector<MipsSolver*>& strategies,
-                               OptimusReport* report,
+                               bool skip_prepare, OptimusReport* report,
                                SampleMeasurement* sample_out) {
   if (strategies.size() < 2) {
     return Status::InvalidArgument("OPTIMUS needs at least two strategies");
@@ -35,10 +35,13 @@ Status Optimus::DecideInternal(const ConstRowBlock& users,
   rep = OptimusReport();
   rep.estimates.resize(strategies.size());
 
-  // --- Step 1: build every index in full (cheap relative to serving). ---
+  // --- Step 1: build every index in full (cheap relative to serving).
+  // Skipped for re-decisions over already-Prepared strategies. ---
   for (std::size_t s = 0; s < strategies.size(); ++s) {
     WallTimer timer;
-    MIPS_RETURN_IF_ERROR(strategies[s]->Prepare(users, items));
+    if (!skip_prepare) {
+      MIPS_RETURN_IF_ERROR(strategies[s]->Prepare(users, items));
+    }
     rep.estimates[s].name = strategies[s]->name();
     rep.estimates[s].construction_seconds = timer.Seconds();
     rep.construction_seconds += rep.estimates[s].construction_seconds;
@@ -132,8 +135,23 @@ Status Optimus::Decide(const ConstRowBlock& users, const ConstRowBlock& items,
   OptimusReport local_report;
   OptimusReport& rep = report != nullptr ? *report : local_report;
   SampleMeasurement sample;
-  MIPS_RETURN_IF_ERROR(
-      DecideInternal(users, items, k, strategies, &rep, &sample));
+  MIPS_RETURN_IF_ERROR(DecideInternal(users, items, k, strategies,
+                                      /*skip_prepare=*/false, &rep, &sample));
+  *winner = sample.winner;
+  rep.total_seconds = total_timer.Seconds();
+  return Status::OK();
+}
+
+Status Optimus::DecidePrepared(const ConstRowBlock& users,
+                               const ConstRowBlock& items, Index k,
+                               const std::vector<MipsSolver*>& strategies,
+                               std::size_t* winner, OptimusReport* report) {
+  WallTimer total_timer;
+  OptimusReport local_report;
+  OptimusReport& rep = report != nullptr ? *report : local_report;
+  SampleMeasurement sample;
+  MIPS_RETURN_IF_ERROR(DecideInternal(users, items, k, strategies,
+                                      /*skip_prepare=*/true, &rep, &sample));
   *winner = sample.winner;
   rep.total_seconds = total_timer.Seconds();
   return Status::OK();
@@ -146,8 +164,8 @@ Status Optimus::Run(const ConstRowBlock& users, const ConstRowBlock& items,
   OptimusReport local_report;
   OptimusReport& rep = report != nullptr ? *report : local_report;
   SampleMeasurement sample;
-  MIPS_RETURN_IF_ERROR(
-      DecideInternal(users, items, k, strategies, &rep, &sample));
+  MIPS_RETURN_IF_ERROR(DecideInternal(users, items, k, strategies,
+                                      /*skip_prepare=*/false, &rep, &sample));
   const std::size_t winner = sample.winner;
   const Index n = users.rows();
 

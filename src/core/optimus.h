@@ -99,12 +99,22 @@ class Optimus {
                 Index k, const std::vector<MipsSolver*>& strategies,
                 std::size_t* winner, OptimusReport* report = nullptr);
 
+  /// Decide() for strategies that are ALREADY Prepared on (users, items):
+  /// skips index construction and only re-runs the sampling measurement.
+  /// Used by MipsEngine when a query k diverges from the decision k —
+  /// the candidate indexes are k-independent, so rebuilding them would
+  /// add construction latency to a serving call for nothing.
+  Status DecidePrepared(const ConstRowBlock& users, const ConstRowBlock& items,
+                        Index k, const std::vector<MipsSolver*>& strategies,
+                        std::size_t* winner, OptimusReport* report = nullptr);
+
  private:
   struct SampleMeasurement;
   Status DecideInternal(const ConstRowBlock& users,
                         const ConstRowBlock& items, Index k,
                         const std::vector<MipsSolver*>& strategies,
-                        OptimusReport* report, SampleMeasurement* sample);
+                        bool skip_prepare, OptimusReport* report,
+                        SampleMeasurement* sample);
 
   OptimusOptions options_;
 };

@@ -1,39 +1,14 @@
 #include "core/registry.h"
 
-#include "core/maximus.h"
-#include "solvers/bmm.h"
-#include "solvers/fexipro/fexipro.h"
-#include "solvers/lemp/lemp.h"
-#include "solvers/naive.h"
-
 namespace mips {
 
-StatusOr<std::unique_ptr<MipsSolver>> CreateSolver(const std::string& name) {
-  if (name == "naive") {
-    return std::unique_ptr<MipsSolver>(new NaiveSolver());
-  }
-  if (name == "bmm") {
-    return std::unique_ptr<MipsSolver>(new BmmSolver());
-  }
-  if (name == "lemp") {
-    return std::unique_ptr<MipsSolver>(new LempSolver());
-  }
-  if (name == "fexipro-si") {
-    return std::unique_ptr<MipsSolver>(new FexiproSolver());
-  }
-  if (name == "fexipro-sir") {
-    FexiproOptions options;
-    options.use_reduction = true;
-    return std::unique_ptr<MipsSolver>(new FexiproSolver(options));
-  }
-  if (name == "maximus") {
-    return std::unique_ptr<MipsSolver>(new MaximusSolver());
-  }
-  return Status::NotFound("unknown solver: " + name);
+StatusOr<std::unique_ptr<MipsSolver>> CreateSolver(
+    const std::string& name_or_spec) {
+  return SolverRegistry::Global().Create(name_or_spec);
 }
 
 std::vector<std::string> AvailableSolvers() {
-  return {"naive", "bmm", "lemp", "fexipro-si", "fexipro-sir", "maximus"};
+  return SolverRegistry::Global().Names();
 }
 
 }  // namespace mips

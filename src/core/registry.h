@@ -1,4 +1,7 @@
-// Name-based solver factory for benches, examples, and the OPTIMUS driver.
+// Spec-based solver factory for benches, examples, and the OPTIMUS
+// driver.  Thin forwarding layer over the self-registering registry in
+// solvers/registry.h — kept so existing callers of CreateSolver /
+// AvailableSolvers keep working, now with full spec support.
 
 #ifndef MIPS_CORE_REGISTRY_H_
 #define MIPS_CORE_REGISTRY_H_
@@ -8,16 +11,22 @@
 #include <vector>
 
 #include "common/status.h"
+#include "solvers/registry.h"  // IWYU pragma: export
 #include "solvers/solver.h"
+#include "solvers/spec.h"  // IWYU pragma: export
 
 namespace mips {
 
-/// Creates a solver by name: "naive", "bmm", "lemp", "fexipro-si",
-/// "fexipro-sir", or "maximus" (paper-default options).  NotFound for
-/// unknown names.
-StatusOr<std::unique_ptr<MipsSolver>> CreateSolver(const std::string& name);
+/// Creates a solver from a spec: a bare registered name ("naive", "bmm",
+/// "lemp", "fexipro-si", "fexipro-sir", "maximus", "dynamic-maximus")
+/// builds paper-default options; "name:key=value,..." overrides schema
+/// parameters.  NotFound for unknown names, InvalidArgument naming the
+/// offending key for unknown/ill-typed parameters.
+StatusOr<std::unique_ptr<MipsSolver>> CreateSolver(
+    const std::string& name_or_spec);
 
-/// All names CreateSolver accepts, in display order.
+/// All registered (visible) solver names, sorted — derived from the
+/// registry, so it can never drift from what CreateSolver accepts.
 std::vector<std::string> AvailableSolvers();
 
 }  // namespace mips

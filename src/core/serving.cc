@@ -1,75 +1,47 @@
 #include "core/serving.h"
 
-#include "common/timer.h"
-#include "core/maximus.h"
-#include "core/registry.h"
-#include "linalg/blas.h"
-#include "topk/topk_heap.h"
-
 namespace mips {
 
 StatusOr<std::unique_ptr<ServingSession>> ServingSession::Open(
     const ConstRowBlock& users, const ConstRowBlock& items,
     const ServingOptions& options) {
-  if (options.k <= 0) {
-    return Status::InvalidArgument("k must be positive");
-  }
   if (options.strategies.size() < 2) {
     return Status::InvalidArgument(
         "serving session needs at least two candidate strategies");
   }
+  EngineOptions engine_options;
+  engine_options.k = options.k;
+  engine_options.solvers = options.strategies;
+  engine_options.optimus = options.optimus;
+  // Sessions are fixed-k by contract; a diverging k would indicate a
+  // caller bug, so serve it with the opening winner instead of paying
+  // for a re-decision.
+  engine_options.redecide_on_new_k = false;
+  auto engine = MipsEngine::Open(users, items, engine_options);
+  MIPS_RETURN_IF_ERROR(engine.status());
+
   std::unique_ptr<ServingSession> session(new ServingSession());
-  session->users_ = users;
-  session->items_ = items;
-  session->options_ = options;
-
-  std::vector<MipsSolver*> raw;
-  for (const std::string& name : options.strategies) {
-    auto solver = CreateSolver(name);
-    MIPS_RETURN_IF_ERROR(solver.status());
-    raw.push_back(solver->get());
-    session->solvers_.push_back(std::move(*solver));
-  }
-
-  Optimus optimus(options.optimus);
-  std::size_t winner = 0;
-  MIPS_RETURN_IF_ERROR(optimus.Decide(users, items, options.k, raw, &winner,
-                                      &session->report_));
-  session->chosen_ = raw[winner];
-  session->maximus_ = dynamic_cast<MaximusSolver*>(session->chosen_);
+  session->k_ = options.k;
+  session->engine_ = std::move(*engine);
   return session;
 }
 
 Status ServingSession::ServeBatch(std::span<const Index> user_ids,
                                   TopKResult* out) {
-  WallTimer timer;
-  MIPS_RETURN_IF_ERROR(chosen_->TopKForUsers(options_.k, user_ids, out));
-  stats_.serve_seconds += timer.Seconds();
-  ++stats_.batches_served;
-  stats_.users_served += static_cast<int64_t>(user_ids.size());
+  MIPS_RETURN_IF_ERROR(engine_->TopK(k_, user_ids, out));
+  const MipsEngine::Stats& engine_stats = engine_->stats();
+  stats_.batches_served = engine_stats.batches_served;
+  stats_.users_served = engine_stats.users_served;
+  stats_.serve_seconds = engine_stats.serve_seconds;
   return Status::OK();
 }
 
 Status ServingSession::ServeNewUser(const Real* user_vector,
                                     TopKEntry* out_row) {
-  WallTimer timer;
-  if (maximus_ != nullptr) {
-    // Exact dynamic-user walk (Section III-E).
-    MIPS_RETURN_IF_ERROR(
-        maximus_->QueryDynamicUser(user_vector, options_.k, out_row));
-  } else {
-    // Dense scoring row: one pass of inner products + heap.  Exact and
-    // strategy-independent; a single user cannot exploit blocking anyway.
-    const Index n = items_.rows();
-    const Index f = items_.cols();
-    TopKHeap heap(options_.k);
-    for (Index i = 0; i < n; ++i) {
-      heap.Push(i, Dot(user_vector, items_.Row(i), f));
-    }
-    heap.ExtractDescending(out_row);
-  }
-  stats_.serve_seconds += timer.Seconds();
-  ++stats_.new_users_served;
+  MIPS_RETURN_IF_ERROR(engine_->TopKNewUser(user_vector, k_, out_row));
+  const MipsEngine::Stats& engine_stats = engine_->stats();
+  stats_.new_users_served = engine_stats.new_users_served;
+  stats_.serve_seconds = engine_stats.serve_seconds;
   return Status::OK();
 }
 

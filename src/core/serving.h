@@ -2,14 +2,15 @@
 //
 // Section II-A: "MAXIMUS, our proposed index, can also accelerate MIPS
 // for a subset of users at a time, as might happen in a model serving
-// system like Clipper that collects tens of requests at once."  This
-// facade packages that workflow: open a session on a trained model, let
-// OPTIMUS pick the serving strategy once (via its sampling decision, not
-// a full batch run), then answer mini-batches of known users and
-// individual *new* users for the lifetime of the session.
+// system like Clipper that collects tens of requests at once."
 //
-// New users are served exactly: MAXIMUS's dynamic-user walk when MAXIMUS
-// is the chosen strategy, a dense scoring row otherwise.
+// ServingSession is the fixed-k compatibility wrapper over MipsEngine
+// (engine.h): open a session on a trained model, let OPTIMUS pick the
+// serving strategy once (via its sampling decision, not a full batch
+// run), then answer mini-batches of known users and individual *new*
+// users for the lifetime of the session.  New callers should prefer
+// MipsEngine directly — it adds per-call k, spec-driven candidates,
+// strategy override, and an internal thread pool.
 
 #ifndef MIPS_CORE_SERVING_H_
 #define MIPS_CORE_SERVING_H_
@@ -18,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "core/engine.h"
 #include "core/optimus.h"
 #include "solvers/solver.h"
 
@@ -27,7 +29,7 @@ namespace mips {
 struct ServingOptions {
   /// Top-K size every query in this session uses.
   Index k = 10;
-  /// Candidate strategies by registry name; OPTIMUS picks among them.
+  /// Candidate strategies as registry specs; OPTIMUS picks among them.
   std::vector<std::string> strategies = {"bmm", "maximus"};
   /// Optimizer knobs for the opening decision.
   OptimusOptions optimus;
@@ -52,9 +54,11 @@ class ServingSession {
   Status ServeNewUser(const Real* user_vector, TopKEntry* out_row);
 
   /// Name of the strategy OPTIMUS selected at Open time.
-  const std::string& strategy() const { return report_.chosen; }
+  const std::string& strategy() const { return engine_->strategy(); }
   /// The opening decision trace.
-  const OptimusReport& decision_report() const { return report_; }
+  const OptimusReport& decision_report() const {
+    return engine_->decision_report();
+  }
 
   /// Cumulative serving statistics.
   struct Stats {
@@ -65,16 +69,14 @@ class ServingSession {
   };
   const Stats& stats() const { return stats_; }
 
+  /// The engine this session wraps (full API: per-call k, overrides).
+  MipsEngine* engine() { return engine_.get(); }
+
  private:
   ServingSession() = default;
 
-  ConstRowBlock users_;
-  ConstRowBlock items_;
-  ServingOptions options_;
-  std::vector<std::unique_ptr<MipsSolver>> solvers_;
-  MipsSolver* chosen_ = nullptr;
-  class MaximusSolver* maximus_ = nullptr;  // non-null iff chosen is MAXIMUS
-  OptimusReport report_;
+  Index k_ = 0;
+  std::unique_ptr<MipsEngine> engine_;
   Stats stats_;
 };
 

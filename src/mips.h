@@ -14,6 +14,7 @@
 #include "core/approx_cluster.h"  // IWYU pragma: export
 #include "core/cost_model.h"      // IWYU pragma: export
 #include "core/dynamic_maximus.h"  // IWYU pragma: export
+#include "core/engine.h"          // IWYU pragma: export
 #include "core/maximus.h"         // IWYU pragma: export
 #include "core/optimus.h"         // IWYU pragma: export
 #include "core/registry.h"        // IWYU pragma: export
@@ -27,6 +28,9 @@
 #include "solvers/fexipro/fexipro.h"  // IWYU pragma: export
 #include "solvers/lemp/lemp.h"    // IWYU pragma: export
 #include "solvers/naive.h"        // IWYU pragma: export
+#include "solvers/registry.h"     // IWYU pragma: export
+#include "solvers/solver.h"       // IWYU pragma: export
+#include "solvers/spec.h"         // IWYU pragma: export
 #include "topk/result.h"          // IWYU pragma: export
 
 #endif  // MIPS_MIPS_H_

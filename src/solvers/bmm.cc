@@ -1,8 +1,10 @@
 #include "solvers/bmm.h"
 
 #include <algorithm>
+#include <memory>
 
 #include "linalg/gemm.h"
+#include "solvers/registry.h"
 #include "topk/topk_block.h"
 
 namespace mips {
@@ -64,5 +66,32 @@ Status BmmSolver::TopKForUsers(Index k, std::span<const Index> user_ids,
   });
   return Status::OK();
 }
+
+namespace {
+
+const SolverRegistrar kBmmRegistrar(
+    SolverSchema("bmm", "blocked-GEMM brute force (Section II-B)")
+        .Int("batch_rows", BmmOptions{}.batch_rows,
+             "users per GEMM batch (0 = auto from score_block_bytes)")
+        .Int("score_block_bytes",
+             static_cast<int64_t>(BmmOptions{}.score_block_bytes),
+             "byte budget for one batch's score block when batch_rows = 0"),
+    [](const ParamMap& params) -> StatusOr<std::unique_ptr<MipsSolver>> {
+      BmmOptions options;
+      auto batch_rows = params.GetIndexChecked("batch_rows");
+      MIPS_RETURN_IF_ERROR(batch_rows.status());
+      const int64_t block_bytes = params.GetInt("score_block_bytes");
+      if (*batch_rows < 0) {
+        return Status::InvalidArgument("batch_rows must be >= 0");
+      }
+      if (block_bytes <= 0) {
+        return Status::InvalidArgument("score_block_bytes must be positive");
+      }
+      options.batch_rows = *batch_rows;
+      options.score_block_bytes = static_cast<std::size_t>(block_bytes);
+      return std::unique_ptr<MipsSolver>(new BmmSolver(options));
+    });
+
+}  // namespace
 
 }  // namespace mips

@@ -4,10 +4,12 @@
 #include <atomic>
 #include <cmath>
 #include <cstring>
+#include <memory>
 #include <numeric>
 
 #include "common/timer.h"
 #include "linalg/blas.h"
+#include "solvers/registry.h"
 #include "topk/topk_heap.h"
 
 namespace mips {
@@ -205,5 +207,55 @@ Status FexiproSolver::TopKForUsers(Index k, std::span<const Index> user_ids,
       (static_cast<double>(q) * static_cast<double>(items_.rows()));
   return Status::OK();
 }
+
+namespace {
+
+// One schema + factory shared by the SI/SIR variants: "fexipro-si" and
+// "fexipro-sir" differ only in the use_reduction default, and the bare
+// "fexipro" name is a hidden alias so specs can say
+// "fexipro:use_reduction=true" instead of picking a variant name.
+SolverSchema FexiproSchema(std::string name, std::string summary,
+                           bool reduction_default) {
+  SolverSchema schema(std::move(name), std::move(summary));
+  schema
+      .Bool("use_reduction", reduction_default,
+            "apply the non-negativity reduction before quantization (SIR)")
+      .Real("svd_energy_fraction", FexiproOptions{}.svd_energy_fraction,
+            "energy share captured by the SVD head dimensions")
+      .Bool("use_int_bound", FexiproOptions{}.use_int_bound,
+            "enable the int16 cascade stage")
+      .Bool("use_svd_bound", FexiproOptions{}.use_svd_bound,
+            "enable the SVD partial-bound stage");
+  return schema;
+}
+
+StatusOr<std::unique_ptr<MipsSolver>> MakeFexipro(const ParamMap& params) {
+  FexiproOptions options;
+  options.use_reduction = params.GetBool("use_reduction");
+  options.svd_energy_fraction =
+      static_cast<Real>(params.GetReal("svd_energy_fraction"));
+  options.use_int_bound = params.GetBool("use_int_bound");
+  options.use_svd_bound = params.GetBool("use_svd_bound");
+  if (options.svd_energy_fraction <= 0 || options.svd_energy_fraction > 1) {
+    return Status::InvalidArgument("svd_energy_fraction must be in (0, 1]");
+  }
+  return std::unique_ptr<MipsSolver>(new FexiproSolver(options));
+}
+
+const SolverRegistrar kFexiproSiRegistrar(
+    FexiproSchema("fexipro-si", "FEXIPRO with SVD + integer bounds (SIGMOD'17)",
+                  /*reduction_default=*/false),
+    MakeFexipro);
+const SolverRegistrar kFexiproSirRegistrar(
+    FexiproSchema("fexipro-sir",
+                  "FEXIPRO-SI plus the non-negativity reduction",
+                  /*reduction_default=*/true),
+    MakeFexipro);
+const SolverRegistrar kFexiproAliasRegistrar(
+    FexiproSchema("fexipro", "alias of fexipro-si (set use_reduction for SIR)",
+                  /*reduction_default=*/false),
+    MakeFexipro, /*hidden=*/true);
+
+}  // namespace
 
 }  // namespace mips

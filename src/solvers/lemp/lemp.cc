@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <memory>
 
 #include "common/timer.h"
 #include "linalg/blas.h"
+#include "solvers/registry.h"
 #include "topk/topk_heap.h"
 
 namespace mips {
@@ -264,5 +266,48 @@ Status LempSolver::TopKForUsers(Index k, std::span<const Index> user_ids,
       (static_cast<double>(q) * static_cast<double>(items_.rows()));
   return Status::OK();
 }
+
+namespace {
+
+const SolverRegistrar kLempRegistrar(
+    SolverSchema("lemp", "LEMP-LI bucketed point-query index (SIGMOD'15)")
+        .Int("bucket_size", LempOptions{}.bucket_size,
+             "items per bucket (0 = auto: n/64 in [64, 1024])")
+        .Int("calibration_users", LempOptions{}.calibration_users,
+             "users used to calibrate the per-bucket algorithm choice")
+        .Int("num_checkpoints", LempOptions{}.num_checkpoints,
+             "incremental-pruning checkpoints per vector")
+        .Int("forced_algorithm", LempOptions{}.forced_algorithm,
+             "fix every bucket to one algorithm 0..3 (-1 = adaptive)"),
+    [](const ParamMap& params) -> StatusOr<std::unique_ptr<MipsSolver>> {
+      LempOptions options;
+      auto bucket_size = params.GetIndexChecked("bucket_size");
+      MIPS_RETURN_IF_ERROR(bucket_size.status());
+      auto calibration_users = params.GetIndexChecked("calibration_users");
+      MIPS_RETURN_IF_ERROR(calibration_users.status());
+      auto num_checkpoints = params.GetIndexChecked("num_checkpoints");
+      MIPS_RETURN_IF_ERROR(num_checkpoints.status());
+      auto forced = params.GetIndexChecked("forced_algorithm");
+      MIPS_RETURN_IF_ERROR(forced.status());
+      if (*bucket_size < 0) {
+        return Status::InvalidArgument("bucket_size must be >= 0");
+      }
+      if (*calibration_users <= 0) {
+        return Status::InvalidArgument("calibration_users must be positive");
+      }
+      if (*num_checkpoints <= 0) {
+        return Status::InvalidArgument("num_checkpoints must be positive");
+      }
+      if (*forced < -1 || *forced > 3) {
+        return Status::InvalidArgument("forced_algorithm must be in [-1, 3]");
+      }
+      options.bucket_size = *bucket_size;
+      options.calibration_users = *calibration_users;
+      options.num_checkpoints = *num_checkpoints;
+      options.forced_algorithm = static_cast<int>(*forced);
+      return std::unique_ptr<MipsSolver>(new LempSolver(options));
+    });
+
+}  // namespace
 
 }  // namespace mips

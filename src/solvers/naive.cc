@@ -1,6 +1,9 @@
 #include "solvers/naive.h"
 
+#include <memory>
+
 #include "linalg/blas.h"
+#include "solvers/registry.h"
 #include "topk/topk_heap.h"
 
 namespace mips {
@@ -37,5 +40,16 @@ Status NaiveSolver::TopKForUsers(Index k, std::span<const Index> user_ids,
   });
   return Status::OK();
 }
+
+namespace {
+
+const SolverRegistrar kNaiveRegistrar(
+    SolverSchema("naive",
+                 "per-pair dot-product brute force (Section II-B strawman)"),
+    [](const ParamMap&) -> StatusOr<std::unique_ptr<MipsSolver>> {
+      return std::unique_ptr<MipsSolver>(new NaiveSolver());
+    });
+
+}  // namespace
 
 }  // namespace mips

@@ -1,0 +1,79 @@
+#include "solvers/spec.h"
+
+namespace mips {
+
+namespace {
+
+std::string Trim(const std::string& s) {
+  std::size_t begin = s.find_first_not_of(" \t");
+  if (begin == std::string::npos) return std::string();
+  std::size_t end = s.find_last_not_of(" \t");
+  return s.substr(begin, end - begin + 1);
+}
+
+}  // namespace
+
+std::string SolverSpec::ToString() const {
+  std::string out = name;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    out += (i == 0) ? ':' : ',';
+    out += params[i].first;
+    out += '=';
+    out += params[i].second;
+  }
+  return out;
+}
+
+const std::string* SolverSpec::Find(const std::string& key) const {
+  for (const auto& [k, v] : params) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+StatusOr<SolverSpec> ParseSolverSpec(const std::string& text) {
+  SolverSpec spec;
+  const std::size_t colon = text.find(':');
+  spec.name = Trim(text.substr(0, colon));
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("solver spec has an empty name: \"" +
+                                   text + "\"");
+  }
+  if (colon == std::string::npos) return spec;
+
+  const std::string rest = text.substr(colon + 1);
+  if (Trim(rest).empty()) return spec;  // "bmm:" — no overrides
+
+  std::size_t pos = 0;
+  while (pos <= rest.size()) {
+    std::size_t comma = rest.find(',', pos);
+    if (comma == std::string::npos) comma = rest.size();
+    const std::string pair = Trim(rest.substr(pos, comma - pos));
+    pos = comma + 1;
+    if (pair.empty()) {
+      return Status::InvalidArgument("empty parameter in solver spec \"" +
+                                     text + "\"");
+    }
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("parameter \"" + pair +
+                                     "\" in solver spec \"" + text +
+                                     "\" is missing '='");
+    }
+    const std::string key = Trim(pair.substr(0, eq));
+    const std::string value = Trim(pair.substr(eq + 1));
+    if (key.empty()) {
+      return Status::InvalidArgument("parameter \"" + pair +
+                                     "\" in solver spec \"" + text +
+                                     "\" has an empty key");
+    }
+    if (spec.Find(key) != nullptr) {
+      return Status::InvalidArgument("duplicate parameter \"" + key +
+                                     "\" in solver spec \"" + text + "\"");
+    }
+    spec.params.emplace_back(key, value);
+  }
+  return spec;
+}
+
+}  // namespace mips

@@ -1,0 +1,50 @@
+// Textual solver specification: strategies as data, not types.
+//
+// A spec selects a registered solver by name and overrides any subset of
+// its schema parameters:
+//
+//   "bmm"
+//   "maximus:clusters=64,block_size=2048"
+//   "fexipro:use_reduction=true"
+//
+// Grammar:  spec  := name [ ':' pairs ]
+//           pairs := pair ( ',' pair )*
+//           pair  := key '=' value
+//
+// Whitespace around names, keys, and values is ignored.  Parsing is
+// purely syntactic — name/key/type validation happens against the solver
+// registry (registry.h), so error messages can say which solver and
+// which parameter are wrong.
+
+#ifndef MIPS_SOLVERS_SPEC_H_
+#define MIPS_SOLVERS_SPEC_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mips {
+
+/// A parsed solver spec: the solver name plus key=value overrides in
+/// spec order (values still unparsed strings at this stage).
+struct SolverSpec {
+  std::string name;
+  std::vector<std::pair<std::string, std::string>> params;
+
+  /// Canonical round-trippable form: "name:key=value,...".
+  std::string ToString() const;
+
+  /// Value for `key`, or nullptr if the spec does not set it.
+  const std::string* Find(const std::string& key) const;
+};
+
+/// Parses "name:key=value,key=value".  InvalidArgument on an empty name,
+/// a pair without '=', an empty key, or a duplicate key — the message
+/// names the offending fragment.
+StatusOr<SolverSpec> ParseSolverSpec(const std::string& text);
+
+}  // namespace mips
+
+#endif  // MIPS_SOLVERS_SPEC_H_

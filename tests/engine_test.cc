@@ -1,0 +1,286 @@
+// Tests for the MipsEngine facade: spec-driven opening, equivalence with
+// a direct Optimus::Run, per-call k handling (re-decide and fallback),
+// strategy override, the new-user path, and cumulative stats.
+
+#include <gtest/gtest.h>
+
+#include "core/engine.h"
+#include "core/maximus.h"
+#include "core/optimus.h"
+#include "linalg/blas.h"
+#include "solvers/bmm.h"
+#include "test_util.h"
+#include "topk/topk_heap.h"
+
+namespace mips {
+namespace {
+
+using ::mips::testing::AllUsers;
+using ::mips::testing::ExpectSameTopKScores;
+using ::mips::testing::MakeTestModel;
+
+EngineOptions SmallEngineOptions(Index k = 5) {
+  EngineOptions options;
+  options.k = k;
+  options.optimus.l2_cache_bytes = 16 * 1024;
+  return options;
+}
+
+TEST(EngineOpenTest, ValidatesOptions) {
+  const MFModel model = MakeTestModel(100, 50, 8, 1);
+  const ConstRowBlock users(model.users);
+  const ConstRowBlock items(model.items);
+
+  EXPECT_FALSE(MipsEngine::Open(users, items, SmallEngineOptions(0)).ok());
+
+  EngineOptions no_solvers = SmallEngineOptions();
+  no_solvers.solvers.clear();
+  EXPECT_FALSE(MipsEngine::Open(users, items, no_solvers).ok());
+
+  EngineOptions unknown = SmallEngineOptions();
+  unknown.solvers = {"bmm", "no-such-solver"};
+  auto status = MipsEngine::Open(users, items, unknown);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.status().message().find("no-such-solver"),
+            std::string::npos);
+
+  // A malformed candidate spec surfaces the registry error naming the
+  // offending key.
+  EngineOptions bad_key = SmallEngineOptions();
+  bad_key.solvers = {"bmm", "maximus:warp_speed=9"};
+  auto bad = MipsEngine::Open(users, items, bad_key);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("warp_speed"), std::string::npos);
+}
+
+TEST(EngineTest, MatchesDirectOptimusRun) {
+  // The integration requirement: MipsEngine must return results
+  // identical to driving Optimus::Run by hand with the same candidates
+  // and knobs.
+  const MFModel model = MakeTestModel(300, 200, 10, 3, /*norm_sigma=*/0.6);
+  const ConstRowBlock users(model.users);
+  const ConstRowBlock items(model.items);
+
+  auto engine = MipsEngine::Open(users, items, SmallEngineOptions());
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  TopKResult got;
+  ASSERT_TRUE((*engine)->TopKAll(5, &got).ok());
+
+  BmmSolver bmm;
+  MaximusSolver maximus;
+  OptimusOptions optimus_options;
+  optimus_options.l2_cache_bytes = 16 * 1024;
+  Optimus optimus(optimus_options);
+  TopKResult expected;
+  OptimusReport report;
+  ASSERT_TRUE(
+      optimus.Run(users, items, 5, {&bmm, &maximus}, &expected, &report)
+          .ok());
+
+  // The sample is seed-deterministic; the winner may legitimately vary
+  // with timing noise, but exactness may not.
+  EXPECT_EQ((*engine)->decision_report().sample_size, report.sample_size);
+  ExpectSameTopKScores(got, expected, 1e-7);
+}
+
+TEST(EngineTest, PerCallKRedecidesAndStaysExact) {
+  const MFModel model = MakeTestModel(250, 120, 8, 7);
+  const ConstRowBlock users(model.users);
+  const ConstRowBlock items(model.items);
+  auto engine = MipsEngine::Open(users, items, SmallEngineOptions(5));
+  ASSERT_TRUE(engine.ok());
+
+  BmmSolver reference;
+  ASSERT_TRUE(reference.Prepare(users, items).ok());
+
+  // A diverging k triggers exactly one re-decision; repeats hit the
+  // cache.
+  const std::vector<Index> batch = {0, 17, 249, 3};
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    TopKResult got;
+    TopKResult expected;
+    ASSERT_TRUE((*engine)->TopK(9, batch, &got).ok());
+    ASSERT_TRUE(reference.TopKForUsers(9, batch, &expected).ok());
+    ExpectSameTopKScores(got, expected, 1e-7);
+  }
+  EXPECT_EQ((*engine)->stats().redecisions, 1);
+  EXPECT_GT((*engine)->stats().redecision_seconds, 0.0);
+
+  // The decision k itself never re-decides.
+  TopKResult at_decision_k;
+  ASSERT_TRUE((*engine)->TopK(5, batch, &at_decision_k).ok());
+  EXPECT_EQ((*engine)->stats().redecisions, 1);
+}
+
+TEST(EngineTest, PerCallKFallbackWhenRedecideDisabled) {
+  const MFModel model = MakeTestModel(200, 90, 8, 9);
+  const ConstRowBlock users(model.users);
+  const ConstRowBlock items(model.items);
+  EngineOptions options = SmallEngineOptions(5);
+  options.redecide_on_new_k = false;
+  auto engine = MipsEngine::Open(users, items, options);
+  ASSERT_TRUE(engine.ok());
+
+  BmmSolver reference;
+  ASSERT_TRUE(reference.Prepare(users, items).ok());
+  TopKResult got;
+  TopKResult expected;
+  const std::vector<Index> batch = {1, 2, 3};
+  ASSERT_TRUE((*engine)->TopK(12, batch, &got).ok());
+  ASSERT_TRUE(reference.TopKForUsers(12, batch, &expected).ok());
+  ExpectSameTopKScores(got, expected, 1e-7);
+  EXPECT_EQ((*engine)->stats().redecisions, 0);
+}
+
+TEST(EngineTest, SingleCandidateSkipsDecision) {
+  const MFModel model = MakeTestModel(120, 60, 6, 11);
+  EngineOptions options = SmallEngineOptions();
+  options.solvers = {"lemp:bucket_size=64"};
+  auto engine = MipsEngine::Open(ConstRowBlock(model.users),
+                                 ConstRowBlock(model.items), options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ((*engine)->strategy(), "lemp");
+  EXPECT_TRUE((*engine)->decision_report().estimates.empty());
+
+  BmmSolver reference;
+  ASSERT_TRUE(reference.Prepare(ConstRowBlock(model.users),
+                                ConstRowBlock(model.items)).ok());
+  TopKResult got;
+  TopKResult expected;
+  ASSERT_TRUE((*engine)->TopKAll(5, &got).ok());
+  ASSERT_TRUE(reference.TopKAll(5, &expected).ok());
+  ExpectSameTopKScores(got, expected, 1e-7);
+}
+
+TEST(EngineTest, ForceStrategyOverridesDecision) {
+  const MFModel model = MakeTestModel(150, 80, 8, 13);
+  const ConstRowBlock users(model.users);
+  const ConstRowBlock items(model.items);
+  EngineOptions options = SmallEngineOptions();
+  options.solvers = {"bmm", "maximus", "lemp"};
+  auto engine = MipsEngine::Open(users, items, options);
+  ASSERT_TRUE(engine.ok());
+
+  EXPECT_FALSE((*engine)->ForceStrategy("fexipro-si").ok());
+
+  ASSERT_TRUE((*engine)->ForceStrategy("lemp").ok());
+  EXPECT_EQ((*engine)->strategy(), "lemp");
+  BmmSolver reference;
+  ASSERT_TRUE(reference.Prepare(users, items).ok());
+  TopKResult got;
+  TopKResult expected;
+  ASSERT_TRUE((*engine)->TopKAll(4, &got).ok());
+  ASSERT_TRUE(reference.TopKAll(4, &expected).ok());
+  ExpectSameTopKScores(got, expected, 1e-7);
+
+  (*engine)->ClearForcedStrategy();
+  EXPECT_EQ((*engine)->strategy(), (*engine)->decision_report().chosen);
+}
+
+TEST(EngineTest, TunedVariantsAreAddressableBySpec) {
+  // Two tuned variants of the same solver share a name; the exact
+  // opening spec must still select each.
+  const MFModel model = MakeTestModel(150, 80, 8, 21);
+  EngineOptions options = SmallEngineOptions();
+  options.solvers = {"maximus:clusters=2", "maximus:clusters=8"};
+  auto engine = MipsEngine::Open(ConstRowBlock(model.users),
+                                 ConstRowBlock(model.items), options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  ASSERT_EQ((*engine)->candidate_specs().size(), 2u);
+  EXPECT_EQ((*engine)->candidate_names()[0], (*engine)->candidate_names()[1]);
+
+  BmmSolver reference;
+  ASSERT_TRUE(reference.Prepare(ConstRowBlock(model.users),
+                                ConstRowBlock(model.items)).ok());
+  TopKResult expected;
+  ASSERT_TRUE(reference.TopKAll(4, &expected).ok());
+  for (const char* spec : {"maximus:clusters=8", "maximus:clusters=2"}) {
+    ASSERT_TRUE((*engine)->ForceStrategy(spec).ok()) << spec;
+    TopKResult got;
+    ASSERT_TRUE((*engine)->TopKAll(4, &got).ok());
+    ExpectSameTopKScores(got, expected, 1e-7);
+  }
+}
+
+TEST(EngineTest, NewUsersAreExactUnderEveryStrategy) {
+  const MFModel model = MakeTestModel(400, 150, 8, 5, 0.5, 0.3);
+  const MFModel extra = MakeTestModel(20, 150, 8, 6, 0.5, 1.2);
+  for (const char* forced : {"bmm", "maximus", "dynamic-maximus"}) {
+    EngineOptions options = SmallEngineOptions();
+    options.solvers = {"bmm", "maximus", "dynamic-maximus"};
+    auto engine = MipsEngine::Open(ConstRowBlock(model.users),
+                                   ConstRowBlock(model.items), options);
+    ASSERT_TRUE(engine.ok());
+    ASSERT_TRUE((*engine)->ForceStrategy(forced).ok());
+    std::vector<TopKEntry> row(5);
+    for (Index u = 0; u < 10; ++u) {
+      ASSERT_TRUE(
+          (*engine)->TopKNewUser(extra.users.Row(u), 5, row.data()).ok());
+      TopKHeap heap(5);
+      for (Index i = 0; i < 150; ++i) {
+        heap.Push(i, Dot(extra.users.Row(u), model.items.Row(i), 8));
+      }
+      std::vector<TopKEntry> expected(5);
+      heap.ExtractDescending(expected.data());
+      for (Index e = 0; e < 5; ++e) {
+        EXPECT_NEAR(row[static_cast<std::size_t>(e)].score,
+                    expected[static_cast<std::size_t>(e)].score, 1e-7)
+            << forced << " user " << u << " entry " << e;
+      }
+    }
+    EXPECT_EQ((*engine)->stats().new_users_served, 10);
+  }
+}
+
+TEST(EngineTest, ValidatesQueryArguments) {
+  const MFModel model = MakeTestModel(50, 30, 4, 15);
+  auto engine = MipsEngine::Open(ConstRowBlock(model.users),
+                                 ConstRowBlock(model.items),
+                                 SmallEngineOptions());
+  ASSERT_TRUE(engine.ok());
+  TopKResult out;
+  const std::vector<Index> bad = {0, 50};
+  EXPECT_EQ((*engine)->TopK(5, bad, &out).code(), StatusCode::kOutOfRange);
+  const std::vector<Index> ok = {0, 49};
+  EXPECT_EQ((*engine)->TopK(0, ok, &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(EngineTest, StatsAccumulate) {
+  const MFModel model = MakeTestModel(100, 60, 6, 17);
+  auto engine = MipsEngine::Open(ConstRowBlock(model.users),
+                                 ConstRowBlock(model.items),
+                                 SmallEngineOptions());
+  ASSERT_TRUE(engine.ok());
+  TopKResult out;
+  const std::vector<Index> batch = {0, 1, 2};
+  ASSERT_TRUE((*engine)->TopK(5, batch, &out).ok());
+  ASSERT_TRUE((*engine)->TopK(5, batch, &out).ok());
+  std::vector<TopKEntry> row(5);
+  ASSERT_TRUE(
+      (*engine)->TopKNewUser(model.users.Row(0), 5, row.data()).ok());
+  EXPECT_EQ((*engine)->stats().batches_served, 2);
+  EXPECT_EQ((*engine)->stats().users_served, 6);
+  EXPECT_EQ((*engine)->stats().new_users_served, 1);
+  EXPECT_GT((*engine)->stats().serve_seconds, 0.0);
+}
+
+TEST(EngineTest, ThreadedEngineStaysExact) {
+  const MFModel model = MakeTestModel(300, 150, 8, 19);
+  EngineOptions options = SmallEngineOptions();
+  options.threads = 3;
+  auto engine = MipsEngine::Open(ConstRowBlock(model.users),
+                                 ConstRowBlock(model.items), options);
+  ASSERT_TRUE(engine.ok());
+  BmmSolver reference;
+  ASSERT_TRUE(reference.Prepare(ConstRowBlock(model.users),
+                                ConstRowBlock(model.items)).ok());
+  TopKResult got;
+  TopKResult expected;
+  ASSERT_TRUE((*engine)->TopKAll(5, &got).ok());
+  ASSERT_TRUE(reference.TopKAll(5, &expected).ok());
+  ExpectSameTopKScores(got, expected, 1e-7);
+}
+
+}  // namespace
+}  // namespace mips
