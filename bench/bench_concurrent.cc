@@ -1,0 +1,152 @@
+// Closed-loop multi-client serving throughput (Figure 6 extended).
+//
+// The paper's multi-core result parallelizes *inside* one query batch
+// (user partitioning); a serving deployment additionally faces many
+// independent clients hitting the same MipsEngine.  This harness measures
+// that: T client threads issue mixed-k TopK mini-batches back-to-back
+// (closed loop) against one shared engine for a fixed wall-clock window,
+// and the table reports per-T throughput (QPS over requests and users)
+// and request latency percentiles (p50/p99).  The mixed k values
+// deliberately exercise the engine's per-k decision cache — the first
+// request at each new k pays the (shared-mutex-serialized) OPTIMUS
+// re-decision; the steady state is lock-shared reads.
+//
+//   bench_concurrent --clients=8 --seconds=2 --k=1,5,10 --threads=0
+//
+// --threads sizes the engine's internal pool (parallelism inside one
+// batch); --clients scales the number of concurrent callers.  On a
+// 1-core host expect flat QPS with rising latency as clients grow; on
+// real multi-core hardware QPS should scale until cores saturate.
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "core/engine.h"
+
+using namespace mips;
+using namespace mips::bench;
+
+namespace {
+
+std::vector<std::string> SplitSpecs(const std::string& csv) {
+  std::vector<std::string> specs;
+  std::string current;
+  for (const char c : csv) {
+    if (c == ',') {
+      if (!current.empty()) specs.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) specs.push_back(current);
+  return specs;
+}
+
+double Percentile(std::vector<double>* sorted_seconds, double p) {
+  if (sorted_seconds->empty()) return 0;
+  const std::size_t idx = std::min(
+      sorted_seconds->size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(sorted_seconds->size())));
+  return (*sorted_seconds)[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  BenchConfig config;
+  int32_t max_clients = 8;
+  int32_t batch_size = 16;
+  double seconds = 2.0;
+  std::string solvers = "bmm,maximus";
+  flags.Int32("clients", &max_clients,
+              "max concurrent client threads (sweeps 1,2,4,... up to this)");
+  flags.Int32("batch", &batch_size, "users per TopK request");
+  flags.Double("seconds", &seconds, "measurement window per client count");
+  flags.String("solvers", &solvers, "engine candidate specs, comma-separated");
+  config.ks = "1,5,10";
+  ParseBenchFlags(argc, argv, &flags, &config);
+
+  auto preset = FindModelPreset("netflix-nomad-50");
+  preset.status().CheckOK();
+  const MFModel model = MakeBenchModel(*preset, config);
+  const std::vector<Index> ks = ParseKList(config.ks);
+
+  EngineOptions options;
+  options.k = ks.empty() ? 10 : ks.front();
+  options.solvers = SplitSpecs(solvers);
+  options.threads = config.threads > 1 ? config.threads : 0;
+  auto engine = MipsEngine::Open(ConstRowBlock(model.users),
+                                 ConstRowBlock(model.items), options);
+  engine.status().CheckOK();
+
+  std::printf(
+      "== Concurrent serving: %s (%d users, %d items), batch=%d, "
+      "ks=%s, engine threads=%d ==\n",
+      preset->display_name.c_str(), model.num_users(), model.num_items(),
+      batch_size, config.ks.c_str(), options.threads);
+  std::printf("host hardware threads: %u\n\n",
+              std::thread::hardware_concurrency());
+
+  TablePrinter table({"Clients", "Requests", "QPS", "Users/s", "p50", "p99",
+                      "Redecisions"});
+  const Index num_users = model.num_users();
+  for (int clients = 1; clients <= max_clients; clients *= 2) {
+    const int64_t redecisions_before = (*engine)->stats().redecisions;
+    std::atomic<bool> stop{false};
+    std::vector<std::vector<double>> latencies(
+        static_cast<std::size_t>(clients));
+    std::vector<std::thread> workers;
+    for (int t = 0; t < clients; ++t) {
+      workers.emplace_back([&, t]() {
+        std::vector<double>& mine = latencies[static_cast<std::size_t>(t)];
+        std::vector<Index> batch(static_cast<std::size_t>(batch_size));
+        TopKResult out;
+        Index cursor = static_cast<Index>(t) * 97 % num_users;
+        std::size_t request = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const Index k = ks[request++ % ks.size()];
+          for (auto& id : batch) {
+            cursor = (cursor + 1) % num_users;
+            id = cursor;
+          }
+          WallTimer timer;
+          (*engine)->TopK(k, batch, &out).CheckOK();
+          mine.push_back(timer.Seconds());
+        }
+      });
+    }
+    WallTimer window;
+    while (window.Seconds() < seconds) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& w : workers) w.join();
+    const double elapsed = window.Seconds();
+
+    std::vector<double> all;
+    for (const auto& lane : latencies) {
+      all.insert(all.end(), lane.begin(), lane.end());
+    }
+    std::sort(all.begin(), all.end());
+    const double qps = static_cast<double>(all.size()) / elapsed;
+    table.AddRow({FmtInt(clients), FmtInt(static_cast<int64_t>(all.size())),
+                  Fmt(qps, 1), Fmt(qps * batch_size, 1),
+                  FormatSeconds(Percentile(&all, 0.50)),
+                  FormatSeconds(Percentile(&all, 0.99)),
+                  FmtInt((*engine)->stats().redecisions -
+                         redecisions_before)});
+  }
+  table.Print();
+  std::printf(
+      "\nClosed loop: each client issues its next request as soon as the "
+      "previous one returns.  Re-decisions only appear in the first "
+      "window (the per-k cache is shared and persistent).\n");
+  return 0;
+}

@@ -9,6 +9,7 @@
 #define MIPS_COMMON_TIMER_H_
 
 #include <chrono>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -35,6 +36,11 @@ class WallTimer {
 
 /// Accumulates wall time into named stages.  Stages keep first-use order so
 /// breakdown tables print deterministically.
+///
+/// Thread-safe: solvers charge stage time from concurrently-running query
+/// calls (e.g. MAXIMUS's traversal stage under a multi-client engine), so
+/// every accessor synchronizes internally.  stages() therefore returns a
+/// snapshot copy rather than a reference.
 class StageTimer {
  public:
   /// Adds `seconds` to stage `name` (creating it on first use).
@@ -60,14 +66,13 @@ class StageTimer {
   /// Sum over all stages.
   double Total() const;
 
-  /// (name, seconds) pairs in first-use order.
-  const std::vector<std::pair<std::string, double>>& stages() const {
-    return stages_;
-  }
+  /// Snapshot of (name, seconds) pairs in first-use order.
+  std::vector<std::pair<std::string, double>> stages() const;
 
-  void Clear() { stages_.clear(); }
+  void Clear();
 
  private:
+  mutable std::mutex mu_;
   std::vector<std::pair<std::string, double>> stages_;
 };
 

@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include <mutex>
 #include <numeric>
 
 #include "common/timer.h"
@@ -15,7 +16,8 @@ StatusOr<std::unique_ptr<MipsEngine>> MipsEngine::Open(
     const ConstRowBlock& users, const ConstRowBlock& items,
     const EngineOptions& options) {
   if (options.k <= 0) {
-    return Status::InvalidArgument("k must be positive");
+    return Status::InvalidArgument("k must be positive, got " +
+                                   std::to_string(options.k));
   }
   if (options.solvers.empty()) {
     return Status::InvalidArgument(
@@ -28,7 +30,8 @@ StatusOr<std::unique_ptr<MipsEngine>> MipsEngine::Open(
     return Status::InvalidArgument("user/item factor dimensions differ");
   }
   if (options.threads < 0) {
-    return Status::InvalidArgument("threads must be >= 0");
+    return Status::InvalidArgument("threads must be >= 0, got " +
+                                   std::to_string(options.threads));
   }
 
   std::unique_ptr<MipsEngine> engine(new MipsEngine());
@@ -45,45 +48,99 @@ StatusOr<std::unique_ptr<MipsEngine>> MipsEngine::Open(
   }
   if (options.threads > 0) {
     engine->pool_ = std::make_unique<ThreadPool>(options.threads);
+  }
+
+  // Build every candidate index.  Construction is a small share of
+  // serving time per index (Figure 4), but N candidates over a large item
+  // set is a real cold-start cost, so the builds run concurrently on the
+  // engine pool when one exists.  The solvers are handed the pool only
+  // AFTER this phase: a Prepare() that used the injected pool would be
+  // waiting on the very pool its own task occupies (ThreadPool::Wait
+  // deadlocks from inside a task), and withholding the pool makes that
+  // impossible by construction rather than by convention.
+  const std::size_t num_candidates = engine->solvers_.size();
+  std::vector<Status> build_status(num_candidates);
+  std::vector<double> build_seconds(num_candidates, 0);
+  WallTimer build_timer;
+  if (engine->pool_ != nullptr && num_candidates > 1) {
+    for (std::size_t s = 0; s < num_candidates; ++s) {
+      engine->pool_->Submit([&engine, &users, &items, &build_status,
+                             &build_seconds, s]() {
+        WallTimer timer;
+        build_status[s] = engine->solvers_[s]->Prepare(users, items);
+        build_seconds[s] = timer.Seconds();
+      });
+    }
+    engine->pool_->Wait();
+  } else {
+    for (std::size_t s = 0; s < num_candidates; ++s) {
+      WallTimer timer;
+      build_status[s] = engine->solvers_[s]->Prepare(users, items);
+      build_seconds[s] = timer.Seconds();
+    }
+  }
+  for (std::size_t s = 0; s < num_candidates; ++s) {
+    MIPS_RETURN_IF_ERROR(build_status[s]);
+  }
+  const double build_wall_seconds = build_timer.Seconds();
+  if (engine->pool_ != nullptr) {
     for (auto& solver : engine->solvers_) {
       solver->set_thread_pool(engine->pool_.get());
     }
   }
 
-  if (engine->solvers_.size() == 1) {
-    // Nothing to decide: prepare the only candidate and serve with it.
-    WallTimer timer;
-    MIPS_RETURN_IF_ERROR(engine->solvers_[0]->Prepare(users, items));
+  if (num_candidates == 1) {
+    // Nothing to decide: serve with the only candidate.
     engine->report_.chosen = engine->names_[0];
-    engine->report_.construction_seconds = timer.Seconds();
-    engine->report_.total_seconds = engine->report_.construction_seconds;
+    engine->report_.construction_seconds = build_seconds[0];
+    engine->report_.total_seconds = build_wall_seconds;
     engine->winner_by_k_[options.k] = 0;
     return engine;
   }
 
+  // The candidates are already Prepared (above, possibly in parallel), so
+  // the decision only needs the sampling measurement.
   std::vector<MipsSolver*> raw;
   for (const auto& solver : engine->solvers_) raw.push_back(solver.get());
   Optimus optimus(options.optimus);
   std::size_t winner = 0;
-  MIPS_RETURN_IF_ERROR(optimus.Decide(users, items, options.k, raw, &winner,
-                                      &engine->report_));
+  MIPS_RETURN_IF_ERROR(optimus.DecidePrepared(users, items, options.k, raw,
+                                              &winner, &engine->report_));
+  // DecidePrepared skipped construction; patch the measured per-candidate
+  // build times into the report so its trace stays complete.
+  for (std::size_t s = 0; s < num_candidates &&
+                          s < engine->report_.estimates.size();
+       ++s) {
+    engine->report_.estimates[s].construction_seconds = build_seconds[s];
+    engine->report_.construction_seconds += build_seconds[s];
+  }
+  engine->report_.total_seconds += build_wall_seconds;
   engine->winner_by_k_[options.k] = winner;
   return engine;
 }
 
 StatusOr<std::size_t> MipsEngine::StrategyForK(Index k) {
-  if (forced_ != kNoForcedStrategy) return forced_;
-  auto it = winner_by_k_.find(k);
-  if (it != winner_by_k_.end()) return it->second;
-  if (!options_.redecide_on_new_k || solvers_.size() < 2) {
-    // Fall back to the opening decision: still exact, possibly not the
-    // fastest strategy for this k.
-    return winner_by_k_.at(options_.k);
+  const std::size_t forced = forced_.load(std::memory_order_acquire);
+  if (forced != kNoForcedStrategy) return forced;
+  {
+    std::shared_lock<std::shared_mutex> lock(decision_mu_);
+    auto it = winner_by_k_.find(k);
+    if (it != winner_by_k_.end()) return it->second;
+    if (!options_.redecide_on_new_k || solvers_.size() < 2) {
+      // Fall back to the opening decision: still exact, possibly not the
+      // fastest strategy for this k.
+      return winner_by_k_.at(options_.k);
+    }
   }
   // The decision k and the query k diverged: re-run the sampling
   // decision at the new k and cache the winner.  The candidates were
   // all Prepared at Open (indexes are k-independent), so only the
-  // sampling measurement is repeated.
+  // sampling measurement is repeated.  The exclusive lock serializes
+  // concurrent first-queries of the same new k: one caller measures,
+  // the rest (re-checking under the lock) reuse its cached winner.
+  std::unique_lock<std::shared_mutex> lock(decision_mu_);
+  auto it = winner_by_k_.find(k);
+  if (it != winner_by_k_.end()) return it->second;
   std::vector<MipsSolver*> raw;
   for (const auto& solver : solvers_) raw.push_back(solver.get());
   Optimus optimus(options_.optimus);
@@ -92,27 +149,33 @@ StatusOr<std::size_t> MipsEngine::StrategyForK(Index k) {
   MIPS_RETURN_IF_ERROR(
       optimus.DecidePrepared(users_, items_, k, raw, &winner, &report));
   winner_by_k_[k] = winner;
-  ++stats_.redecisions;
-  stats_.redecision_seconds += report.total_seconds;
+  stats_.redecisions.fetch_add(1, std::memory_order_relaxed);
+  stats_.redecision_seconds.fetch_add(report.total_seconds,
+                                      std::memory_order_relaxed);
   return winner;
 }
 
 Status MipsEngine::TopK(Index k, std::span<const Index> user_ids,
                         TopKResult* out) {
-  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (k <= 0) {
+    return Status::InvalidArgument("k must be positive, got " +
+                                   std::to_string(k));
+  }
   for (const Index id : user_ids) {
     if (id < 0 || id >= users_.rows()) {
-      return Status::OutOfRange("user id out of range: " +
-                                std::to_string(id));
+      return Status::OutOfRange(
+          "user id out of range: " + std::to_string(id) + " (engine has " +
+          std::to_string(users_.rows()) + " users)");
     }
   }
   auto strategy = StrategyForK(k);
   MIPS_RETURN_IF_ERROR(strategy.status());
   WallTimer timer;
   MIPS_RETURN_IF_ERROR(solvers_[*strategy]->TopKForUsers(k, user_ids, out));
-  stats_.serve_seconds += timer.Seconds();
-  ++stats_.batches_served;
-  stats_.users_served += static_cast<int64_t>(user_ids.size());
+  stats_.serve_seconds.fetch_add(timer.Seconds(), std::memory_order_relaxed);
+  stats_.batches_served.fetch_add(1, std::memory_order_relaxed);
+  stats_.users_served.fetch_add(static_cast<int64_t>(user_ids.size()),
+                                std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -124,7 +187,13 @@ Status MipsEngine::TopKAll(Index k, TopKResult* out) {
 
 Status MipsEngine::TopKNewUser(const Real* user_vector, Index k,
                                TopKEntry* out_row) {
-  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  if (k <= 0) {
+    return Status::InvalidArgument("k must be positive, got " +
+                                   std::to_string(k));
+  }
+  if (user_vector == nullptr) {
+    return Status::InvalidArgument("user_vector must not be null");
+  }
   auto strategy = StrategyForK(k);
   MIPS_RETURN_IF_ERROR(strategy.status());
   MipsSolver* solver = solvers_[*strategy].get();
@@ -145,8 +214,8 @@ Status MipsEngine::TopKNewUser(const Real* user_vector, Index k,
     }
     heap.ExtractDescending(out_row);
   }
-  stats_.serve_seconds += timer.Seconds();
-  ++stats_.new_users_served;
+  stats_.serve_seconds.fetch_add(timer.Seconds(), std::memory_order_relaxed);
+  stats_.new_users_served.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -155,13 +224,13 @@ Status MipsEngine::ForceStrategy(const std::string& name_or_spec) {
   // candidates are tuned variants of the same solver.
   for (std::size_t s = 0; s < names_.size(); ++s) {
     if (names_[s] == name_or_spec) {
-      forced_ = s;
+      forced_.store(s, std::memory_order_release);
       return Status::OK();
     }
   }
   for (std::size_t s = 0; s < specs_.size(); ++s) {
     if (specs_[s] == name_or_spec) {
-      forced_ = s;
+      forced_.store(s, std::memory_order_release);
       return Status::OK();
     }
   }
@@ -174,11 +243,28 @@ Status MipsEngine::ForceStrategy(const std::string& name_or_spec) {
                           "\" (candidates: " + candidates + ")");
 }
 
-void MipsEngine::ClearForcedStrategy() { forced_ = kNoForcedStrategy; }
+void MipsEngine::ClearForcedStrategy() {
+  forced_.store(kNoForcedStrategy, std::memory_order_release);
+}
 
 const std::string& MipsEngine::strategy() const {
-  if (forced_ != kNoForcedStrategy) return names_[forced_];
+  const std::size_t forced = forced_.load(std::memory_order_acquire);
+  if (forced != kNoForcedStrategy) return names_[forced];
+  std::shared_lock<std::shared_mutex> lock(decision_mu_);
   return names_[winner_by_k_.at(options_.k)];
+}
+
+MipsEngine::Stats MipsEngine::stats() const {
+  Stats snapshot;
+  snapshot.batches_served = stats_.batches_served.load(std::memory_order_relaxed);
+  snapshot.users_served = stats_.users_served.load(std::memory_order_relaxed);
+  snapshot.new_users_served =
+      stats_.new_users_served.load(std::memory_order_relaxed);
+  snapshot.redecisions = stats_.redecisions.load(std::memory_order_relaxed);
+  snapshot.serve_seconds = stats_.serve_seconds.load(std::memory_order_relaxed);
+  snapshot.redecision_seconds =
+      stats_.redecision_seconds.load(std::memory_order_relaxed);
+  return snapshot;
 }
 
 }  // namespace mips

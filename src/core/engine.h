@@ -3,9 +3,9 @@
 //
 // Callers hand Open() a model plus candidate strategies *as specs*
 // ("bmm", "maximus:clusters=64", ...).  The engine builds every
-// candidate via the solver registry, runs the OPTIMUS decision once at
-// the configured k, owns the solvers and the optional thread pool, and
-// then serves:
+// candidate via the solver registry (concurrently, on the engine's pool,
+// when threads > 0), runs the OPTIMUS decision once at the configured k,
+// owns the solvers and the optional thread pool, and then serves:
 //
 //   * TopK(k, user_ids)   — mini-batches of known users at any k.  When
 //     a call's k diverges from the k the decision was made at, the
@@ -18,16 +18,37 @@
 //     strategy is chosen, a dense scoring row otherwise.
 //
 // ForceStrategy() overrides the optimizer by candidate name (benches,
-// lesion studies, operator escape hatch); stats() accumulates cumulative
+// lesion studies, operator escape hatch); stats() snapshots cumulative
 // serving counters.  ServingSession (serving.h) is a thin compatibility
 // wrapper over this class.
+//
+// Thread safety (the contract the multi-client server relies on):
+//
+//   * After Open() returns, TopK / TopKAll / TopKNewUser / stats() /
+//     strategy() may be called from any number of threads concurrently.
+//     Candidate indexes are read-only at query time; the per-k decision
+//     cache is guarded by a shared mutex so the hot path (k already
+//     decided) takes only a shared lock, and the exclusive lock is held
+//     only while a brand-new k runs Optimus::DecidePrepared.  Concurrent
+//     callers of other, already-cached ks briefly queue behind that
+//     decision; exactness is never affected.
+//   * stats() counters are atomics; the returned snapshot is internally
+//     consistent per field (not across fields).
+//   * ForceStrategy / ClearForcedStrategy are safe to call concurrently
+//     with queries; in-flight batches may finish on the previous
+//     strategy.
+//   * The `threads` pool is shared by all candidates and by concurrent
+//     callers: a batch's ParallelFor chunks simply interleave with other
+//     batches' chunks in the pool's FIFO queue.
 
 #ifndef MIPS_CORE_ENGINE_H_
 #define MIPS_CORE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -48,7 +69,8 @@ struct EngineOptions {
   /// Optimizer knobs for the opening (and any per-k re-) decision.
   OptimusOptions optimus;
   /// Worker threads owned by the engine and shared by all candidates
-  /// (0 = single-threaded).
+  /// (0 = single-threaded).  Also used to build the candidate indexes
+  /// concurrently during Open.
   int threads = 0;
   /// When a query's k has no cached decision: true re-runs the OPTIMUS
   /// decision at that k (and caches it), false reuses the opening
@@ -57,18 +79,21 @@ struct EngineOptions {
 };
 
 /// A long-lived exact-MIPS serving engine over one (users, items) model.
-/// The model views must outlive the engine.
+/// The model views must outlive the engine.  See the file comment for the
+/// thread-safety contract.
 class MipsEngine {
  public:
-  /// Builds the candidates from their specs, prepares them, and runs the
-  /// opening OPTIMUS decision.  Spec errors (unknown solver, unknown or
-  /// ill-typed parameter) are returned verbatim from the registry.
+  /// Builds the candidates from their specs, prepares them (in parallel
+  /// on the engine pool when threads > 0), and runs the opening OPTIMUS
+  /// decision.  Spec errors (unknown solver, unknown or ill-typed
+  /// parameter) are returned verbatim from the registry.
   static StatusOr<std::unique_ptr<MipsEngine>> Open(
       const ConstRowBlock& users, const ConstRowBlock& items,
       const EngineOptions& options = {});
 
   /// Exact top-K for a mini-batch of known users (ids into the engine's
-  /// user matrix), served by the strategy decided for this k.
+  /// user matrix), served by the strategy decided for this k.  Safe for
+  /// concurrent callers.
   Status TopK(Index k, std::span<const Index> user_ids, TopKResult* out);
 
   /// Exact top-K for every prepared user.
@@ -102,7 +127,9 @@ class MipsEngine {
   Index num_items() const { return items_.rows(); }
   Index num_factors() const { return items_.cols(); }
 
-  /// Cumulative serving statistics.
+  /// Snapshot of the cumulative serving statistics.  Each field is
+  /// individually consistent; fields may be mutually skewed by in-flight
+  /// requests.
   struct Stats {
     int64_t batches_served = 0;
     int64_t users_served = 0;
@@ -112,13 +139,14 @@ class MipsEngine {
     double serve_seconds = 0;
     double redecision_seconds = 0;
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
 
  private:
   MipsEngine() = default;
 
   /// Index into solvers_ of the strategy serving k (decides and caches
-  /// on a miss).
+  /// on a miss).  Lock-free-ish hot path: shared lock on a cache hit,
+  /// exclusive lock (serializing the decision) on a miss.
   StatusOr<std::size_t> StrategyForK(Index k);
 
   ConstRowBlock users_;
@@ -129,10 +157,24 @@ class MipsEngine {
   std::vector<std::string> names_;  // solver names, parallel to solvers_
   std::vector<std::string> specs_;  // opening specs, parallel to solvers_
 
+  /// Guards winner_by_k_.  Shared: cache lookups.  Exclusive: inserting
+  /// the winner for a new k (held across DecidePrepared so one decision
+  /// runs at a time and latecomers reuse its result).
+  mutable std::shared_mutex decision_mu_;
   std::map<Index, std::size_t> winner_by_k_;
-  std::size_t forced_ = kNoForcedStrategy;
+
+  std::atomic<std::size_t> forced_{kNoForcedStrategy};
   OptimusReport report_;
-  Stats stats_;
+
+  struct AtomicStats {
+    std::atomic<int64_t> batches_served{0};
+    std::atomic<int64_t> users_served{0};
+    std::atomic<int64_t> new_users_served{0};
+    std::atomic<int64_t> redecisions{0};
+    std::atomic<double> serve_seconds{0};
+    std::atomic<double> redecision_seconds{0};
+  };
+  AtomicStats stats_;
 
   static constexpr std::size_t kNoForcedStrategy =
       static_cast<std::size_t>(-1);

@@ -270,8 +270,9 @@ Status MaximusSolver::TopKForUsers(Index k, std::span<const Index> user_ids,
     total_visited.fetch_add(visited_acc, std::memory_order_relaxed);
   });
 
-  mean_items_visited_ =
-      static_cast<double>(total_visited.load()) / static_cast<double>(q);
+  mean_items_visited_.store(
+      static_cast<double>(total_visited.load()) / static_cast<double>(q),
+      std::memory_order_relaxed);
   stage_timer_.Add("traversal", traversal_timer.Seconds());
   return Status::OK();
 }

@@ -21,6 +21,7 @@
 #ifndef MIPS_CORE_MAXIMUS_H_
 #define MIPS_CORE_MAXIMUS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -71,7 +72,10 @@ class MaximusSolver : public MipsSolver {
 
   /// Average number of item-list positions visited per user in the last
   /// query batch (the w-bar of the Section III-D runtime analysis).
-  double mean_items_visited() const { return mean_items_visited_; }
+  /// Under concurrent queries this reflects whichever batch finished last.
+  double mean_items_visited() const {
+    return mean_items_visited_.load(std::memory_order_relaxed);
+  }
 
   /// Cluster-wide max user-centroid angles theta_b (per cluster).
   const std::vector<Real>& theta_b() const { return theta_b_; }
@@ -107,7 +111,7 @@ class MaximusSolver : public MipsSolver {
   std::vector<ClusterList> lists_;
   std::vector<Real> item_norms_;
 
-  mutable double mean_items_visited_ = 0;
+  mutable std::atomic<double> mean_items_visited_{0};
 };
 
 }  // namespace mips

@@ -8,6 +8,7 @@
 #include <immintrin.h>
 #endif
 
+#include "common/thread_pool.h"
 #include "linalg/blas.h"
 
 namespace mips {
@@ -232,6 +233,45 @@ void GemmNT(const Real* a, Index m, const Real* b, Index n, Index k,
       }
     }
   }
+}
+
+void GemmNT(const Real* a, Index m, const Real* b, Index n, Index k,
+            Real alpha, Real beta, Real* c, Index ldc, ThreadPool* pool) {
+  const int threads = (pool == nullptr) ? 1 : pool->num_threads();
+  if (threads <= 1 || m <= 0 || n <= 0) {
+    GemmNT(a, m, b, n, k, alpha, beta, c, ldc);
+    return;
+  }
+  // Slab-partition the larger output dimension on register-tile
+  // boundaries; every worker runs the full serial blocked algorithm on
+  // its own slab (private pack buffers, disjoint C region).  Per C
+  // element the K-panel order and micro-kernel accumulation sequence are
+  // exactly the serial ones, so the threaded product is bit-for-bit
+  // identical to the single-threaded call.
+  if (n >= m) {
+    const int64_t tiles = (n + kNR - 1) / kNR;
+    for (const RangeChunk& chunk : SplitRange(tiles, threads)) {
+      const Index j0 = static_cast<Index>(chunk.begin) * kNR;
+      const Index j1 = std::min(static_cast<Index>(chunk.end) * kNR, n);
+      if (j0 >= j1) continue;
+      pool->Submit([=]() {
+        GemmNT(a, m, b + static_cast<std::size_t>(j0) * k, j1 - j0, k,
+               alpha, beta, c + j0, ldc);
+      });
+    }
+  } else {
+    const int64_t tiles = (m + kMR - 1) / kMR;
+    for (const RangeChunk& chunk : SplitRange(tiles, threads)) {
+      const Index i0 = static_cast<Index>(chunk.begin) * kMR;
+      const Index i1 = std::min(static_cast<Index>(chunk.end) * kMR, m);
+      if (i0 >= i1) continue;
+      pool->Submit([=]() {
+        GemmNT(a + static_cast<std::size_t>(i0) * k, i1 - i0, b, n, k,
+               alpha, beta, c + static_cast<std::size_t>(i0) * ldc, ldc);
+      });
+    }
+  }
+  pool->Wait();
 }
 
 void GemmNT(const ConstRowBlock& a, const ConstRowBlock& b, Matrix* c) {

@@ -25,12 +25,25 @@
 
 namespace mips {
 
+class ThreadPool;
+
 /// C (m x n) = alpha * A * B^T + beta * C.
 ///
 /// A is m x k row-major, B is n x k row-major (so B^T is k x n), and C is
 /// m x n row-major with leading dimension ldc >= n.
 void GemmNT(const Real* a, Index m, const Real* b, Index n, Index k,
             Real alpha, Real beta, Real* c, Index ldc);
+
+/// Multi-threaded GemmNT: statically partitions the macro-panels of the
+/// larger output dimension (register-tile-aligned slabs of N, or of M)
+/// across `pool`.  Each worker runs the serial blocked kernel on its own
+/// pack buffers over a disjoint slab of C, with the same K-panel and
+/// micro-kernel accumulation order as the serial call — results are
+/// bit-for-bit identical to GemmNT without a pool.  Null pool (or one
+/// worker) falls back to the serial path.  Must not be called from inside
+/// a task already running on `pool` (the internal Wait would deadlock).
+void GemmNT(const Real* a, Index m, const Real* b, Index n, Index k,
+            Real alpha, Real beta, Real* c, Index ldc, ThreadPool* pool);
 
 /// Convenience overload: resizes *c to (a.rows() x b.rows()) and computes
 /// C = A * B^T.

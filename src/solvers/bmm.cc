@@ -8,6 +8,13 @@
 #include "topk/topk_block.h"
 
 namespace mips {
+namespace {
+
+// Below this many queried users per pool worker, user partitioning leaves
+// workers starved and the GEMM macro-panels are parallelized instead.
+constexpr Index kMinUsersPerThread = 128;
+
+}  // namespace
 
 Status BmmSolver::Prepare(const ConstRowBlock& users,
                           const ConstRowBlock& items) {
@@ -49,21 +56,51 @@ Status BmmSolver::TopKForUsers(Index k, std::span<const Index> user_ids,
   const Index f = items_.cols();
   const Index batch = resolved_batch_rows_;
 
-  ParallelFor(pool_, q, [&](int64_t begin, int64_t end, int /*chunk*/) {
-    Matrix scores(std::min<Index>(batch, static_cast<Index>(end - begin)), n);
-    for (int64_t b = begin; b < end; b += batch) {
-      const Index m = static_cast<Index>(std::min<int64_t>(batch, end - b));
-      // Gather this batch's user rows so the GEMM sees a contiguous A.
-      const Matrix block = GatherRows(
-          users_, user_ids.subspan(static_cast<std::size_t>(b),
-                                   static_cast<std::size_t>(m)));
-      GemmNT(block.data(), m, items_.data(), n, f, /*alpha=*/1, /*beta=*/0,
-             scores.data(), scores.cols());
-      TopKFromScoreBlock(scores.data(), m, n, scores.cols(), k,
-                         /*item_offset=*/0, /*item_ids=*/nullptr, out,
-                         static_cast<Index>(b));
-    }
-  });
+  // Two parallel regimes (both exact, both bit-identical to the serial
+  // path).  With enough users per worker, the paper's Figure 6 strategy —
+  // static user partitioning, serial GEMM per chunk — amortizes best.
+  // Below that, a small mini-batch against a wide item set would leave
+  // all but one worker idle, so instead the GEMM itself fans its macro-
+  // panels out across the pool and the top-K pass partitions the rows.
+  const bool partition_users =
+      pool_ == nullptr ||
+      q >= static_cast<Index>(pool_->num_threads()) * kMinUsersPerThread;
+  if (partition_users) {
+    ParallelFor(pool_, q, [&](int64_t begin, int64_t end, int /*chunk*/) {
+      Matrix scores(std::min<Index>(batch, static_cast<Index>(end - begin)),
+                    n);
+      for (int64_t b = begin; b < end; b += batch) {
+        const Index m = static_cast<Index>(std::min<int64_t>(batch, end - b));
+        // Gather this batch's user rows so the GEMM sees a contiguous A.
+        const Matrix block = GatherRows(
+            users_, user_ids.subspan(static_cast<std::size_t>(b),
+                                     static_cast<std::size_t>(m)));
+        GemmNT(block.data(), m, items_.data(), n, f, /*alpha=*/1, /*beta=*/0,
+               scores.data(), scores.cols());
+        TopKFromScoreBlock(scores.data(), m, n, scores.cols(), k,
+                           /*item_offset=*/0, /*item_ids=*/nullptr, out,
+                           static_cast<Index>(b));
+      }
+    });
+    return Status::OK();
+  }
+
+  Matrix scores(std::min<Index>(batch, q), n);
+  for (Index b = 0; b < q; b += batch) {
+    const Index m = std::min<Index>(batch, q - b);
+    const Matrix block = GatherRows(
+        users_, user_ids.subspan(static_cast<std::size_t>(b),
+                                 static_cast<std::size_t>(m)));
+    GemmNT(block.data(), m, items_.data(), n, f, /*alpha=*/1, /*beta=*/0,
+           scores.data(), scores.cols(), pool_);
+    ParallelFor(pool_, m, [&](int64_t begin, int64_t end, int /*chunk*/) {
+      TopKFromScoreBlock(
+          scores.data() + static_cast<std::size_t>(begin) * scores.cols(),
+          static_cast<Index>(end - begin), n, scores.cols(), k,
+          /*item_offset=*/0, /*item_ids=*/nullptr, out,
+          b + static_cast<Index>(begin));
+    });
+  }
   return Status::OK();
 }
 

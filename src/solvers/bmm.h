@@ -5,6 +5,12 @@
 // with a bounded min-heap.  All the hardware efficiency lives in the GEMM
 // (src/linalg/gemm.cc); the heap pass is the K-dependent tail the paper
 // notes ("the runtime for blocked matrix multiply varies with K").
+//
+// With a thread pool, large query batches are statically partitioned
+// across users (the paper's Figure 6 strategy); small batches instead
+// parallelize the GEMM macro-panels themselves so a handful of users
+// against a wide item set still uses every core.  Both paths produce
+// results bit-identical to the single-threaded solver.
 
 #ifndef MIPS_SOLVERS_BMM_H_
 #define MIPS_SOLVERS_BMM_H_

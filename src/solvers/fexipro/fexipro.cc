@@ -202,9 +202,10 @@ Status FexiproSolver::TopKForUsers(Index k, std::span<const Index> user_ids,
     }
     total_exact.fetch_add(exact, std::memory_order_relaxed);
   });
-  last_exact_fraction_ =
+  last_exact_fraction_.store(
       static_cast<double>(total_exact.load()) /
-      (static_cast<double>(q) * static_cast<double>(items_.rows()));
+          (static_cast<double>(q) * static_cast<double>(items_.rows())),
+      std::memory_order_relaxed);
   return Status::OK();
 }
 

@@ -17,6 +17,7 @@
 #ifndef MIPS_SOLVERS_FEXIPRO_FEXIPRO_H_
 #define MIPS_SOLVERS_FEXIPRO_FEXIPRO_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -56,8 +57,11 @@ class FexiproSolver : public MipsSolver {
 
   /// SVD head width chosen during Prepare (for tests/benches).
   Index head_dims() const { return svd_.head_dims; }
-  /// Fraction of items fully scored in the last query batch.
-  double last_exact_fraction() const { return last_exact_fraction_; }
+  /// Fraction of items fully scored in the last query batch.  Under
+  /// concurrent queries this reflects whichever batch finished last.
+  double last_exact_fraction() const {
+    return last_exact_fraction_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct QueryScratch;
@@ -83,7 +87,7 @@ class FexiproSolver : public MipsSolver {
   std::vector<int16_t> quantized_items_;  // n x int_dims_
   std::vector<int64_t> item_l1_;
 
-  mutable double last_exact_fraction_ = 0;
+  mutable std::atomic<double> last_exact_fraction_{0};
 };
 
 }  // namespace mips

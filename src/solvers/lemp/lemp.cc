@@ -58,11 +58,8 @@ Status LempSolver::Prepare(const ConstRowBlock& users,
   if (options_.forced_algorithm >= 0) {
     const auto forced = static_cast<BucketAlgorithm>(options_.forced_algorithm);
     bucket_algorithms_.assign(buckets_.size(), forced);
-    calibrated_ = true;
-  } else {
-    calibrated_ = false;
   }
-  calibrated_k_ = -1;
+  algorithms_by_k_.clear();
   stage_timer_.Add("construction", timer.Seconds());
   return Status::OK();
 }
@@ -241,12 +238,23 @@ Status LempSolver::TopKForUsers(Index k, std::span<const Index> user_ids,
   *out = TopKResult(q, k);
   if (q == 0) return Status::OK();
 
-  if (options_.forced_algorithm < 0 && (!calibrated_ || calibrated_k_ != k)) {
-    WallTimer timer;
-    Calibrate(k, user_ids);
-    calibrated_ = true;
-    calibrated_k_ = k;
-    stage_timer_.Add("calibration", timer.Seconds());
+  // Calibrate each distinct k once (under the lock, cached like the
+  // engine's per-k winner), then query on a snapshot so a concurrent
+  // batch at another k cannot mutate the table mid-scan.  Every bucket
+  // algorithm is exact; calibration only tunes pruning cost.
+  std::vector<BucketAlgorithm> algorithms;
+  if (options_.forced_algorithm >= 0) {
+    algorithms = bucket_algorithms_;  // fixed at Prepare, never mutated
+  } else {
+    std::lock_guard<std::mutex> lock(calibration_mu_);
+    auto it = algorithms_by_k_.find(k);
+    if (it == algorithms_by_k_.end()) {
+      WallTimer timer;
+      Calibrate(k, user_ids);
+      it = algorithms_by_k_.emplace(k, bucket_algorithms_).first;
+      stage_timer_.Add("calibration", timer.Seconds());
+    }
+    algorithms = it->second;
   }
 
   const Index f = items_.cols();
@@ -256,14 +264,15 @@ Status LempSolver::TopKForUsers(Index k, std::span<const Index> user_ids,
     for (int64_t r = begin; r < end; ++r) {
       const Real* user = users_.Row(user_ids[static_cast<std::size_t>(r)]);
       const Real user_norm = Nrm2(user, f);
-      scanned += QueryOneUser(user, user_norm, k, bucket_algorithms_,
+      scanned += QueryOneUser(user, user_norm, k, algorithms,
                               out->Row(static_cast<Index>(r)));
     }
     total_scanned.fetch_add(scanned, std::memory_order_relaxed);
   });
-  last_scan_fraction_ =
+  last_scan_fraction_.store(
       static_cast<double>(total_scanned.load()) /
-      (static_cast<double>(q) * static_cast<double>(items_.rows()));
+          (static_cast<double>(q) * static_cast<double>(items_.rows())),
+      std::memory_order_relaxed);
   return Status::OK();
 }
 

@@ -18,6 +18,9 @@
 #ifndef MIPS_SOLVERS_LEMP_LEMP_H_
 #define MIPS_SOLVERS_LEMP_LEMP_H_
 
+#include <atomic>
+#include <map>
+#include <mutex>
 #include <vector>
 
 #include "solvers/lemp/bucket.h"
@@ -55,8 +58,11 @@ class LempSolver : public MipsSolver {
   /// Buckets after Prepare (exposed for tests and the lesion bench).
   const std::vector<lemp::Bucket>& buckets() const { return buckets_; }
   /// Average fraction of items actually scanned over the last query batch
-  /// (1.0 = no pruning).
-  double last_scan_fraction() const { return last_scan_fraction_; }
+  /// (1.0 = no pruning).  Under concurrent queries this reflects whichever
+  /// batch finished last.
+  double last_scan_fraction() const {
+    return last_scan_fraction_.load(std::memory_order_relaxed);
+  }
 
  private:
   // Runs one user's query; returns the number of item positions scanned.
@@ -73,10 +79,16 @@ class LempSolver : public MipsSolver {
   ConstRowBlock items_;
   lemp::SortedItems sorted_;
   std::vector<lemp::Bucket> buckets_;
+  /// Lazy per-k calibration state, guarded by calibration_mu_: concurrent
+  /// query batches (possibly at different ks) must not observe a
+  /// half-written algorithm table, and mixed-k traffic must not thrash —
+  /// each k is calibrated once and cached, mirroring the engine's own
+  /// per-k winner cache.  Queries run on a snapshot copy, so the choice
+  /// only affects pruning cost, never exactness.
+  std::mutex calibration_mu_;
   std::vector<lemp::BucketAlgorithm> bucket_algorithms_;
-  bool calibrated_ = false;
-  Index calibrated_k_ = -1;
-  mutable double last_scan_fraction_ = 0;
+  std::map<Index, std::vector<lemp::BucketAlgorithm>> algorithms_by_k_;
+  mutable std::atomic<double> last_scan_fraction_{0};
 };
 
 }  // namespace mips

@@ -10,6 +10,17 @@
 // realized when many users are scored together (BMM, MAXIMUS — hardware
 // blocking) from point-query solvers (naive, LEMP, FEXIPRO).  OPTIMUS may
 // apply its t-test early stopping only to the latter (Section IV-A).
+//
+// Thread-safety contract: once Prepare() has returned, TopKForUsers() may
+// be called from any number of threads concurrently — index structures
+// are read-only at query time, and any per-batch diagnostics (stage
+// timers, visit counters, LEMP's lazy calibration) synchronize
+// internally.  Prepare() itself must not run concurrently with queries or
+// with another Prepare() on the same solver.  Prepare() implementations
+// must also never Submit()/Wait() on the injected thread pool — engine
+// Open() runs Prepare tasks *on* that pool (waiting on it from inside a
+// task deadlocks), and enforces this by injecting the pool only after
+// construction finishes.  Parallelize queries, not construction.
 
 #ifndef MIPS_SOLVERS_SOLVER_H_
 #define MIPS_SOLVERS_SOLVER_H_

@@ -4,6 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cmath>
+#include <map>
+#include <thread>
+#include <vector>
+
 #include "core/engine.h"
 #include "core/maximus.h"
 #include "core/optimus.h"
@@ -239,11 +245,43 @@ TEST(EngineTest, ValidatesQueryArguments) {
                                  SmallEngineOptions());
   ASSERT_TRUE(engine.ok());
   TopKResult out;
+
+  // Out-of-range user ids are rejected before any solver runs, naming the
+  // offending id.
   const std::vector<Index> bad = {0, 50};
-  EXPECT_EQ((*engine)->TopK(5, bad, &out).code(), StatusCode::kOutOfRange);
+  auto status = (*engine)->TopK(5, bad, &out);
+  EXPECT_EQ(status.code(), StatusCode::kOutOfRange);
+  EXPECT_NE(status.message().find("50"), std::string::npos)
+      << status.ToString();
+  const std::vector<Index> negative = {-3, 1};
+  status = (*engine)->TopK(5, negative, &out);
+  EXPECT_EQ(status.code(), StatusCode::kOutOfRange);
+  EXPECT_NE(status.message().find("-3"), std::string::npos)
+      << status.ToString();
+
+  // Non-positive k is rejected with the offending value.
   const std::vector<Index> ok = {0, 49};
-  EXPECT_EQ((*engine)->TopK(0, ok, &out).code(),
+  status = (*engine)->TopK(0, ok, &out);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("0"), std::string::npos)
+      << status.ToString();
+  status = (*engine)->TopK(-7, ok, &out);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("-7"), std::string::npos)
+      << status.ToString();
+
+  // The new-user path applies the same k validation plus a null check.
+  std::vector<TopKEntry> row(5);
+  status = (*engine)->TopKNewUser(model.users.Row(0), -2, row.data());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("-2"), std::string::npos)
+      << status.ToString();
+  EXPECT_EQ((*engine)->TopKNewUser(nullptr, 5, row.data()).code(),
             StatusCode::kInvalidArgument);
+
+  // Failed validations must not pollute the serving counters.
+  EXPECT_EQ((*engine)->stats().batches_served, 0);
+  EXPECT_EQ((*engine)->stats().new_users_served, 0);
 }
 
 TEST(EngineTest, StatsAccumulate) {
@@ -263,6 +301,161 @@ TEST(EngineTest, StatsAccumulate) {
   EXPECT_EQ((*engine)->stats().users_served, 6);
   EXPECT_EQ((*engine)->stats().new_users_served, 1);
   EXPECT_GT((*engine)->stats().serve_seconds, 0.0);
+}
+
+// ----------------------------------------------------------- concurrency
+//
+// These suites exercise the thread-safety contract: many simultaneous
+// TopK callers with mixed k values (forcing concurrent per-k
+// re-decisions through the shared-mutex cache) plus concurrent stats()
+// and strategy() readers, with every answer checked against a serial
+// reference.  Mismatches are counted in atomics and asserted after the
+// join so no gtest machinery runs on worker threads.
+
+struct ConcurrentHarnessResult {
+  std::atomic<int64_t> status_failures{0};
+  std::atomic<int64_t> score_mismatches{0};
+};
+
+// Hammers `engine` from `num_threads` client threads with mini-batches at
+// rotating k values, comparing scores against `references[k]`.
+void HammerEngine(MipsEngine* engine, const std::vector<Index>& ks,
+                  const std::map<Index, TopKResult>& references,
+                  int num_threads, int iterations, Index num_users,
+                  ConcurrentHarnessResult* result) {
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(num_threads));
+  for (int t = 0; t < num_threads; ++t) {
+    clients.emplace_back([&, t]() {
+      for (int i = 0; i < iterations; ++i) {
+        const Index k =
+            ks[static_cast<std::size_t>(t + i) % ks.size()];
+        // Deterministic per-(thread, iteration) mini-batch.
+        std::vector<Index> batch;
+        for (Index u = 0; u < 7; ++u) {
+          batch.push_back((static_cast<Index>(t) * 31 +
+                           static_cast<Index>(i) * 13 + u * 17) %
+                          num_users);
+        }
+        TopKResult got;
+        if (!engine->TopK(k, batch, &got).ok()) {
+          result->status_failures.fetch_add(1, std::memory_order_relaxed);
+          continue;
+        }
+        const TopKResult& expected = references.at(k);
+        for (std::size_t r = 0; r < batch.size(); ++r) {
+          for (Index e = 0; e < k; ++e) {
+            const Real got_score = got.Row(static_cast<Index>(r))[e].score;
+            const Real want_score = expected.Row(batch[r])[e].score;
+            if (std::abs(got_score - want_score) > 1e-7) {
+              result->score_mismatches.fetch_add(1,
+                                                 std::memory_order_relaxed);
+            }
+          }
+        }
+      }
+    });
+  }
+  // Concurrent metadata readers: stats() snapshots and strategy() lookups
+  // must never tear or throw while the clients run.
+  std::atomic<bool> stop{false};
+  std::thread reader([&]() {
+    int64_t last_users = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const MipsEngine::Stats snapshot = engine->stats();
+      if (snapshot.users_served < last_users) {
+        result->status_failures.fetch_add(1, std::memory_order_relaxed);
+      }
+      last_users = snapshot.users_served;
+      (void)engine->strategy();
+    }
+  });
+  for (auto& c : clients) c.join();
+  stop.store(true, std::memory_order_relaxed);
+  reader.join();
+}
+
+class ConcurrentTopK : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConcurrentTopK, MixedKMatchesSerialReference) {
+  const int engine_threads = GetParam();
+  const Index num_users = 300;
+  const MFModel model = MakeTestModel(num_users, 150, 8, 23,
+                                      /*norm_sigma=*/0.6);
+  const ConstRowBlock users(model.users);
+  const ConstRowBlock items(model.items);
+  EngineOptions options = SmallEngineOptions(5);
+  options.threads = engine_threads;  // engine pool shared by all callers
+  // Three candidate families so concurrent re-decisions measure a
+  // batching index AND the point-query LEMP path (lazy per-k calibration)
+  // while query traffic is in flight.
+  options.solvers = {"bmm", "maximus", "lemp"};
+  auto engine = MipsEngine::Open(users, items, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  // Serial ground truth per k, computed before any concurrent traffic.
+  const std::vector<Index> ks = {3, 5, 9, 12};
+  BmmSolver reference;
+  ASSERT_TRUE(reference.Prepare(users, items).ok());
+  std::map<Index, TopKResult> references;
+  for (const Index k : ks) {
+    ASSERT_TRUE(reference.TopKAll(k, &references[k]).ok());
+  }
+
+  ConcurrentHarnessResult result;
+  HammerEngine(engine->get(), ks, references, /*num_threads=*/8,
+               /*iterations=*/24, num_users, &result);
+  EXPECT_EQ(result.status_failures.load(), 0);
+  EXPECT_EQ(result.score_mismatches.load(), 0);
+
+  // 8 threads x 24 iterations x 7 users, every batch served.
+  EXPECT_EQ((*engine)->stats().batches_served, 8 * 24);
+  EXPECT_EQ((*engine)->stats().users_served, 8 * 24 * 7);
+  // The decision cache serializes re-decisions under the exclusive lock:
+  // exactly one per k that diverges from the opening k, no matter how
+  // many threads raced to trigger it.
+  EXPECT_EQ((*engine)->stats().redecisions,
+            static_cast<int64_t>(ks.size()) - 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(EnginePoolSizes, ConcurrentTopK,
+                         ::testing::Values(0, 2));
+
+TEST(ConcurrentTopKTest, ForcedStrategyFlipsStayExact) {
+  // ForceStrategy/ClearForcedStrategy race against traffic: every answer
+  // must still be exact regardless of which strategy served it.
+  const Index num_users = 200;
+  const MFModel model = MakeTestModel(num_users, 100, 8, 29);
+  const ConstRowBlock users(model.users);
+  const ConstRowBlock items(model.items);
+  auto engine = MipsEngine::Open(users, items, SmallEngineOptions(4));
+  ASSERT_TRUE(engine.ok());
+
+  const std::vector<Index> ks = {4};
+  BmmSolver reference;
+  ASSERT_TRUE(reference.Prepare(users, items).ok());
+  std::map<Index, TopKResult> references;
+  ASSERT_TRUE(reference.TopKAll(4, &references[4]).ok());
+
+  std::atomic<bool> stop{false};
+  std::thread flipper([&]() {
+    int flips = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      if (flips % 2 == 0) {
+        (void)(*engine)->ForceStrategy("maximus");
+      } else {
+        (*engine)->ClearForcedStrategy();
+      }
+      ++flips;
+    }
+  });
+  ConcurrentHarnessResult result;
+  HammerEngine(engine->get(), ks, references, /*num_threads=*/4,
+               /*iterations=*/16, num_users, &result);
+  stop.store(true, std::memory_order_relaxed);
+  flipper.join();
+  EXPECT_EQ(result.status_failures.load(), 0);
+  EXPECT_EQ(result.score_mismatches.load(), 0);
 }
 
 TEST(EngineTest, ThreadedEngineStaysExact) {

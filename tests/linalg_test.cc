@@ -8,6 +8,7 @@
 #include <tuple>
 
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "linalg/blas.h"
 #include "linalg/gemm.h"
 #include "linalg/matrix.h"
@@ -213,6 +214,43 @@ INSTANTIATE_TEST_SUITE_P(
         std::make_tuple(200, 300, 31),
         // Latent-factor-like shapes.
         std::make_tuple(100, 500, 50), std::make_tuple(37, 211, 10)));
+
+// The threaded overload promises bit-for-bit identity with the serial
+// kernel (each slab runs the same K-panel/micro-kernel order), so this
+// differential sweep uses exact equality, not a tolerance.
+TEST(GemmTest, ThreadedMatchesSerialBitForBit) {
+  ThreadPool pool(4);
+  for (const auto& [m, n, k] :
+       std::vector<std::tuple<int, int, int>>{
+           {1, 1, 1},       // degenerate
+           {3, 2000, 64},   // wide N: column-slab partition
+           {500, 7, 33},    // tall M: row-slab partition
+           {129, 131, 70},  // both dims straddle tile edges
+           {256, 512, 96},  // tile-aligned
+           {2, 4096, 8}}) { // more column tiles than workers
+    const Matrix a = RandomMatrix(m, k, 1000 + m);
+    const Matrix b = RandomMatrix(n, k, 2000 + n);
+    Matrix c_serial(m, n);
+    Matrix c_threaded(m, n);
+    GemmNT(a.data(), m, b.data(), n, k, 1.5, 0.0, c_serial.data(), n);
+    GemmNT(a.data(), m, b.data(), n, k, 1.5, 0.0, c_threaded.data(), n,
+           &pool);
+    for (std::size_t i = 0; i < c_serial.size(); ++i) {
+      ASSERT_EQ(c_serial.data()[i], c_threaded.data()[i])
+          << "element " << i << " shape " << m << "x" << n << "x" << k;
+    }
+    // beta != 0 accumulation partitions identically.
+    Matrix acc_serial = RandomMatrix(m, n, 77);
+    Matrix acc_threaded = acc_serial;
+    GemmNT(a.data(), m, b.data(), n, k, 1.0, 0.5, acc_serial.data(), n);
+    GemmNT(a.data(), m, b.data(), n, k, 1.0, 0.5, acc_threaded.data(), n,
+           &pool);
+    for (std::size_t i = 0; i < acc_serial.size(); ++i) {
+      ASSERT_EQ(acc_serial.data()[i], acc_threaded.data()[i])
+          << "element " << i << " shape " << m << "x" << n << "x" << k;
+    }
+  }
+}
 
 TEST(GemmTest, AlphaBetaHandling) {
   const Matrix a = RandomMatrix(5, 3, 71);

@@ -142,8 +142,41 @@ TEST(OptimusDecideTest, AgreesWithRunChoice) {
                   .Run(ConstRowBlock(model.users), ConstRowBlock(model.items),
                        1, {&bmm_b, &maximus_b}, &out, &run_report)
                   .ok());
-  EXPECT_EQ(decide_report.chosen, run_report.chosen);
+  // The sampling procedure is seed-deterministic, so Decide and Run must
+  // draw identical samples and apply the same selection rule...
   EXPECT_EQ(decide_report.sample_size, run_report.sample_size);
+  for (const OptimusReport* report : {&decide_report, &run_report}) {
+    double best = 1e300;
+    std::string best_name;
+    for (const auto& est : report->estimates) {
+      if (est.est_total_seconds < best) {
+        best = est.est_total_seconds;
+        best_name = est.name;
+      }
+    }
+    EXPECT_EQ(report->chosen, best_name);
+  }
+  // ...but the measurements themselves are wall-clock, so the *winner*
+  // is only required to agree when both runs saw a clear-cut gap.
+  // Near-tied estimates may legitimately flip between two timings (the
+  // paper's own optimizer accuracy is 85-98%), and either choice serves
+  // exactly.
+  const auto margin = [](const OptimusReport& report) {
+    double best = 1e300;
+    double second = 1e300;
+    for (const auto& est : report.estimates) {
+      if (est.est_total_seconds < best) {
+        second = best;
+        best = est.est_total_seconds;
+      } else if (est.est_total_seconds < second) {
+        second = est.est_total_seconds;
+      }
+    }
+    return second / best;
+  };
+  if (margin(decide_report) > 1.5 && margin(run_report) > 1.5) {
+    EXPECT_EQ(decide_report.chosen, run_report.chosen);
+  }
 }
 
 // ----------------------------------------------------------- Cost model
