@@ -21,12 +21,14 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <functional>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
 #include "common/timer.h"
 #include "core/engine.h"
+#include "shard/sharded_engine.h"
 
 using namespace mips;
 using namespace mips::bench;
@@ -56,6 +58,66 @@ double Percentile(std::vector<double>* sorted_seconds, double p) {
   return (*sorted_seconds)[idx];
 }
 
+/// One closed-loop client sweep (1, 2, 4, ... max_clients) against any
+/// engine, expressed as a serve callback so the unsharded and sharded
+/// engines run through identical harness code.
+void RunSweep(const std::string& label, int max_clients, int batch_size,
+              double seconds, const std::vector<Index>& ks, Index num_users,
+              const std::function<void(Index, std::span<const Index>,
+                                       TopKResult*)>& serve,
+              const std::function<int64_t()>& redecisions) {
+  std::printf("-- %s --\n", label.c_str());
+  TablePrinter table({"Clients", "Requests", "QPS", "Users/s", "p50", "p99",
+                      "Redecisions"});
+  for (int clients = 1; clients <= max_clients; clients *= 2) {
+    const int64_t redecisions_before = redecisions();
+    std::atomic<bool> stop{false};
+    std::vector<std::vector<double>> latencies(
+        static_cast<std::size_t>(clients));
+    std::vector<std::thread> workers;
+    for (int t = 0; t < clients; ++t) {
+      workers.emplace_back([&, t]() {
+        std::vector<double>& mine = latencies[static_cast<std::size_t>(t)];
+        std::vector<Index> batch(static_cast<std::size_t>(batch_size));
+        TopKResult out;
+        Index cursor = static_cast<Index>(t) * 97 % num_users;
+        std::size_t request = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          const Index k = ks[request++ % ks.size()];
+          for (auto& id : batch) {
+            cursor = (cursor + 1) % num_users;
+            id = cursor;
+          }
+          WallTimer timer;
+          serve(k, batch, &out);
+          mine.push_back(timer.Seconds());
+        }
+      });
+    }
+    WallTimer window;
+    while (window.Seconds() < seconds) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& w : workers) w.join();
+    const double elapsed = window.Seconds();
+
+    std::vector<double> all;
+    for (const auto& lane : latencies) {
+      all.insert(all.end(), lane.begin(), lane.end());
+    }
+    std::sort(all.begin(), all.end());
+    const double qps = static_cast<double>(all.size()) / elapsed;
+    table.AddRow({FmtInt(clients), FmtInt(static_cast<int64_t>(all.size())),
+                  Fmt(qps, 1), Fmt(qps * batch_size, 1),
+                  FormatSeconds(Percentile(&all, 0.50)),
+                  FormatSeconds(Percentile(&all, 0.99)),
+                  FmtInt(redecisions() - redecisions_before)});
+  }
+  table.Print();
+  std::printf("\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -63,11 +125,19 @@ int main(int argc, char** argv) {
   BenchConfig config;
   int32_t max_clients = 8;
   int32_t batch_size = 16;
+  int32_t shards = 0;
+  std::string shard_strategy = "contiguous";
   double seconds = 2.0;
   std::string solvers = "bmm,maximus";
   flags.Int32("clients", &max_clients,
               "max concurrent client threads (sweeps 1,2,4,... up to this)");
   flags.Int32("batch", &batch_size, "users per TopK request");
+  flags.Int32("shards", &shards,
+              "also sweep a ShardedMipsEngine with this many item shards "
+              "(0 = unsharded only) and report the overhead vs the "
+              "unsharded baseline");
+  flags.String("shard_strategy", &shard_strategy,
+               "item placement for --shards: contiguous or hash");
   flags.Double("seconds", &seconds, "measurement window per client count");
   flags.String("solvers", &solvers, "engine candidate specs, comma-separated");
   config.ks = "1,5,10";
@@ -94,58 +164,57 @@ int main(int argc, char** argv) {
   std::printf("host hardware threads: %u\n\n",
               std::thread::hardware_concurrency());
 
-  TablePrinter table({"Clients", "Requests", "QPS", "Users/s", "p50", "p99",
-                      "Redecisions"});
   const Index num_users = model.num_users();
-  for (int clients = 1; clients <= max_clients; clients *= 2) {
-    const int64_t redecisions_before = (*engine)->stats().redecisions;
-    std::atomic<bool> stop{false};
-    std::vector<std::vector<double>> latencies(
-        static_cast<std::size_t>(clients));
-    std::vector<std::thread> workers;
-    for (int t = 0; t < clients; ++t) {
-      workers.emplace_back([&, t]() {
-        std::vector<double>& mine = latencies[static_cast<std::size_t>(t)];
-        std::vector<Index> batch(static_cast<std::size_t>(batch_size));
-        TopKResult out;
-        Index cursor = static_cast<Index>(t) * 97 % num_users;
-        std::size_t request = 0;
-        while (!stop.load(std::memory_order_relaxed)) {
-          const Index k = ks[request++ % ks.size()];
-          for (auto& id : batch) {
-            cursor = (cursor + 1) % num_users;
-            id = cursor;
-          }
-          WallTimer timer;
-          (*engine)->TopK(k, batch, &out).CheckOK();
-          mine.push_back(timer.Seconds());
-        }
-      });
-    }
-    WallTimer window;
-    while (window.Seconds() < seconds) {
-      std::this_thread::sleep_for(std::chrono::milliseconds(10));
-    }
-    stop.store(true, std::memory_order_relaxed);
-    for (auto& w : workers) w.join();
-    const double elapsed = window.Seconds();
+  RunSweep("unsharded baseline", max_clients, batch_size, seconds, ks,
+           num_users,
+           [&](Index k, std::span<const Index> batch, TopKResult* out) {
+             (*engine)->TopK(k, batch, out).CheckOK();
+           },
+           [&]() { return (*engine)->stats().redecisions; });
 
-    std::vector<double> all;
-    for (const auto& lane : latencies) {
-      all.insert(all.end(), lane.begin(), lane.end());
+  if (shards > 1) {
+    auto strategy = ParseShardingStrategy(shard_strategy);
+    strategy.status().CheckOK();
+    ShardedEngineOptions sharded_options;
+    sharded_options.num_shards = shards;
+    sharded_options.sharding = *strategy;
+    sharded_options.engine = options;
+    sharded_options.threads = options.threads;
+    auto sharded = ShardedMipsEngine::Open(ConstRowBlock(model.users),
+                                           ConstRowBlock(model.items),
+                                           sharded_options);
+    sharded.status().CheckOK();
+    RunSweep("sharded: " + std::to_string(shards) + " " + shard_strategy +
+                 " item shards",
+             max_clients, batch_size, seconds, ks, num_users,
+             [&](Index k, std::span<const Index> batch, TopKResult* out) {
+               (*sharded)->TopK(k, batch, out).CheckOK();
+             },
+             [&]() { return (*sharded)->stats().redecisions; });
+
+    // Per-shard decision summary: the paper's point is that the winner is
+    // data-dependent, so heterogeneous shards should show heterogeneous
+    // choices — and the re-decision column shows what the mixed-k stream
+    // cost each shard.
+    TablePrinter shard_table({"Shard", "Items", "Opening choice", "Serving",
+                              "Redecisions", "Cache hit/miss"});
+    const ShardedMipsEngine::Stats stats = (*sharded)->stats();
+    for (int s = 0; s < (*sharded)->num_shards(); ++s) {
+      const auto& shard = stats.shards[static_cast<std::size_t>(s)];
+      shard_table.AddRow(
+          {FmtInt(s), FmtInt(shard.num_items),
+           shard.opening_choice.empty() ? "-" : shard.opening_choice,
+           shard.strategy.empty() ? "-" : shard.strategy,
+           FmtInt(shard.stats.redecisions),
+           FmtInt(shard.stats.decision_cache_hits) + "/" +
+               FmtInt(shard.stats.decision_cache_misses)});
     }
-    std::sort(all.begin(), all.end());
-    const double qps = static_cast<double>(all.size()) / elapsed;
-    table.AddRow({FmtInt(clients), FmtInt(static_cast<int64_t>(all.size())),
-                  Fmt(qps, 1), Fmt(qps * batch_size, 1),
-                  FormatSeconds(Percentile(&all, 0.50)),
-                  FormatSeconds(Percentile(&all, 0.99)),
-                  FmtInt((*engine)->stats().redecisions -
-                         redecisions_before)});
+    shard_table.Print();
+    std::printf("\n");
   }
-  table.Print();
+
   std::printf(
-      "\nClosed loop: each client issues its next request as soon as the "
+      "Closed loop: each client issues its next request as soon as the "
       "previous one returns.  Re-decisions only appear in the first "
       "window (the per-k cache is shared and persistent).\n");
   return 0;

@@ -29,6 +29,7 @@
 #include "core/engine.h"
 #include "data/datasets.h"
 #include "data/io.h"
+#include "shard/sharded_engine.h"
 #include "solvers/registry.h"
 
 using namespace mips;
@@ -85,6 +86,8 @@ int main(int argc, char** argv) {
   std::string items_out = "/tmp/mips_items.bin";
   int32_t k = 10;
   int32_t threads = 0;
+  int32_t shards = 1;
+  std::string shard_strategy = "contiguous";
   bool list_solvers = false;
   double demo_scale = 1.0;
   flags.String("users", &users_path, "user factor matrix (.bin or .csv)");
@@ -97,6 +100,11 @@ int main(int argc, char** argv) {
                "';'-separated candidate specs for --solver=optimus");
   flags.Int32("k", &k, "top-K size");
   flags.Int32("threads", &threads, "worker threads (0 = single-threaded)");
+  flags.Int32("shards", &shards,
+              "item shards (>1 serves via ShardedMipsEngine with one "
+              "OPTIMUS decision per shard)");
+  flags.String("shard_strategy", &shard_strategy,
+               "item placement for --shards>1: contiguous or hash");
   flags.Bool("list_solvers", &list_solvers,
              "print every registered solver with its parameter schema");
   flags.String("demo", &demo,
@@ -161,24 +169,55 @@ int main(int argc, char** argv) {
                   : std::vector<std::string>{solver_spec};
 
   WallTimer timer;
-  auto engine =
-      MipsEngine::Open(ConstRowBlock(*users), ConstRowBlock(*items), options);
-  if (!engine.ok()) {
-    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
-    return 2;
-  }
-  if (use_optimus) {
-    const OptimusReport& report = (*engine)->decision_report();
-    std::printf("OPTIMUS chose %s; estimates:", report.chosen.c_str());
-    for (const auto& est : report.estimates) {
-      std::printf(" %s=%.3fs", est.name.c_str(), est.est_total_seconds);
-    }
-    std::printf("\n");
-  }
-
   TopKResult result;
-  (*engine)->TopKAll(k, &result).CheckOK();
-  const double elapsed = timer.Seconds();
+  double elapsed = 0;
+  if (shards > 1) {
+    // Sharded serving: one engine (and one OPTIMUS decision) per item
+    // shard, exact scatter/gather answers.
+    auto strategy = ParseShardingStrategy(shard_strategy);
+    strategy.status().CheckOK();
+    ShardedEngineOptions sharded_options;
+    sharded_options.num_shards = shards;
+    sharded_options.sharding = *strategy;
+    sharded_options.engine = options;
+    sharded_options.threads = threads;
+    auto engine = ShardedMipsEngine::Open(ConstRowBlock(*users),
+                                          ConstRowBlock(*items),
+                                          sharded_options);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+      return 2;
+    }
+    for (int s = 0; s < (*engine)->num_shards(); ++s) {
+      const MipsEngine* shard = (*engine)->shard_engine(s);
+      if (shard == nullptr) {
+        std::printf("shard %d: empty\n", s);
+        continue;
+      }
+      std::printf("shard %d: %d items, %s %s\n", s, shard->num_items(),
+                  use_optimus ? "OPTIMUS chose" : "serving with",
+                  (*engine)->shard_strategy(s).c_str());
+    }
+    (*engine)->TopKAll(k, &result).CheckOK();
+    elapsed = timer.Seconds();
+  } else {
+    auto engine = MipsEngine::Open(ConstRowBlock(*users),
+                                   ConstRowBlock(*items), options);
+    if (!engine.ok()) {
+      std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+      return 2;
+    }
+    if (use_optimus) {
+      const OptimusReport& report = (*engine)->decision_report();
+      std::printf("OPTIMUS chose %s; estimates:", report.chosen.c_str());
+      for (const auto& est : report.estimates) {
+        std::printf(" %s=%.3fs", est.name.c_str(), est.est_total_seconds);
+      }
+      std::printf("\n");
+    }
+    (*engine)->TopKAll(k, &result).CheckOK();
+    elapsed = timer.Seconds();
+  }
   WriteTopKCsv(result, out_path).CheckOK();
   std::printf("served %d users in %.3f s (%.1f us/user); results -> %s\n",
               result.num_queries(), elapsed,

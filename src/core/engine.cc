@@ -1,5 +1,6 @@
 #include "core/engine.h"
 
+#include <limits>
 #include <mutex>
 #include <numeric>
 
@@ -33,6 +34,11 @@ StatusOr<std::unique_ptr<MipsEngine>> MipsEngine::Open(
     return Status::InvalidArgument("threads must be >= 0, got " +
                                    std::to_string(options.threads));
   }
+  if (options.decision_cache_capacity < 0) {
+    return Status::InvalidArgument(
+        "decision_cache_capacity must be >= 0, got " +
+        std::to_string(options.decision_cache_capacity));
+  }
 
   std::unique_ptr<MipsEngine> engine(new MipsEngine());
   engine->users_ = users;
@@ -46,9 +52,10 @@ StatusOr<std::unique_ptr<MipsEngine>> MipsEngine::Open(
     engine->specs_.push_back(spec);
     engine->solvers_.push_back(std::move(*solver));
   }
-  if (options.threads > 0) {
-    engine->pool_ = std::make_unique<ThreadPool>(options.threads);
+  if (options.shared_pool == nullptr && options.threads > 0) {
+    engine->owned_pool_ = std::make_unique<ThreadPool>(options.threads);
   }
+  ThreadPool* pool = engine->pool();
 
   // Build every candidate index.  Construction is a small share of
   // serving time per index (Figure 4), but N candidates over a large item
@@ -62,16 +69,20 @@ StatusOr<std::unique_ptr<MipsEngine>> MipsEngine::Open(
   std::vector<Status> build_status(num_candidates);
   std::vector<double> build_seconds(num_candidates, 0);
   WallTimer build_timer;
-  if (engine->pool_ != nullptr && num_candidates > 1) {
+  if (pool != nullptr && num_candidates > 1) {
     for (std::size_t s = 0; s < num_candidates; ++s) {
-      engine->pool_->Submit([&engine, &users, &items, &build_status,
-                             &build_seconds, s]() {
+      pool->Submit([&engine, &users, &items, &build_status,
+                    &build_seconds, s]() {
         WallTimer timer;
         build_status[s] = engine->solvers_[s]->Prepare(users, items);
         build_seconds[s] = timer.Seconds();
       });
     }
-    engine->pool_->Wait();
+    // With a shared pool, Wait also drains tasks other pool users (e.g.
+    // sibling shard engines opening concurrently) submitted; over-waiting
+    // is harmless, waiting from inside a pool task is not (see
+    // EngineOptions::shared_pool).
+    pool->Wait();
   } else {
     for (std::size_t s = 0; s < num_candidates; ++s) {
       WallTimer timer;
@@ -83,9 +94,9 @@ StatusOr<std::unique_ptr<MipsEngine>> MipsEngine::Open(
     MIPS_RETURN_IF_ERROR(build_status[s]);
   }
   const double build_wall_seconds = build_timer.Seconds();
-  if (engine->pool_ != nullptr) {
+  if (pool != nullptr) {
     for (auto& solver : engine->solvers_) {
-      solver->set_thread_pool(engine->pool_.get());
+      solver->set_thread_pool(pool);
     }
   }
 
@@ -94,7 +105,7 @@ StatusOr<std::unique_ptr<MipsEngine>> MipsEngine::Open(
     engine->report_.chosen = engine->names_[0];
     engine->report_.construction_seconds = build_seconds[0];
     engine->report_.total_seconds = build_wall_seconds;
-    engine->winner_by_k_[options.k] = 0;
+    engine->InsertDecision(options.k, 0);
     return engine;
   }
 
@@ -115,8 +126,37 @@ StatusOr<std::unique_ptr<MipsEngine>> MipsEngine::Open(
     engine->report_.construction_seconds += build_seconds[s];
   }
   engine->report_.total_seconds += build_wall_seconds;
-  engine->winner_by_k_[options.k] = winner;
+  engine->InsertDecision(options.k, winner);
   return engine;
+}
+
+void MipsEngine::InsertDecision(Index k, std::size_t winner) {
+  winner_by_k_.emplace(std::piecewise_construct, std::forward_as_tuple(k),
+                       std::forward_as_tuple(winner));
+  winner_by_k_.at(k).last_used.store(
+      decision_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+      std::memory_order_relaxed);
+  const std::size_t capacity =
+      static_cast<std::size_t>(options_.decision_cache_capacity);
+  if (capacity == 0) return;  // unbounded
+  while (winner_by_k_.size() > capacity) {
+    // Evict the least-recently-used k.  The opening k is pinned: the
+    // redecide-disabled fallback and strategy() rely on it being present.
+    auto lru = winner_by_k_.end();
+    uint64_t lru_stamp = std::numeric_limits<uint64_t>::max();
+    for (auto it = winner_by_k_.begin(); it != winner_by_k_.end(); ++it) {
+      if (it->first == options_.k) continue;
+      const uint64_t stamp =
+          it->second.last_used.load(std::memory_order_relaxed);
+      if (stamp < lru_stamp) {
+        lru_stamp = stamp;
+        lru = it;
+      }
+    }
+    if (lru == winner_by_k_.end()) return;  // only the pinned entry left
+    winner_by_k_.erase(lru);
+    stats_.decision_cache_evictions.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 StatusOr<std::size_t> MipsEngine::StrategyForK(Index k) {
@@ -125,11 +165,22 @@ StatusOr<std::size_t> MipsEngine::StrategyForK(Index k) {
   {
     std::shared_lock<std::shared_mutex> lock(decision_mu_);
     auto it = winner_by_k_.find(k);
-    if (it != winner_by_k_.end()) return it->second;
+    if (it != winner_by_k_.end()) {
+      // Recency bump under the shared lock: a relaxed store into the
+      // entry's atomic stamp, so the hot path never takes the exclusive
+      // lock.  Racing hits may reorder stamps slightly; LRU stays
+      // approximate by a few requests, never wrong.
+      it->second.last_used.store(
+          decision_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
+          std::memory_order_relaxed);
+      stats_.decision_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      return it->second.winner;
+    }
+    stats_.decision_cache_misses.fetch_add(1, std::memory_order_relaxed);
     if (!options_.redecide_on_new_k || solvers_.size() < 2) {
       // Fall back to the opening decision: still exact, possibly not the
       // fastest strategy for this k.
-      return winner_by_k_.at(options_.k);
+      return winner_by_k_.at(options_.k).winner;
     }
   }
   // The decision k and the query k diverged: re-run the sampling
@@ -140,7 +191,7 @@ StatusOr<std::size_t> MipsEngine::StrategyForK(Index k) {
   // the rest (re-checking under the lock) reuse its cached winner.
   std::unique_lock<std::shared_mutex> lock(decision_mu_);
   auto it = winner_by_k_.find(k);
-  if (it != winner_by_k_.end()) return it->second;
+  if (it != winner_by_k_.end()) return it->second.winner;
   std::vector<MipsSolver*> raw;
   for (const auto& solver : solvers_) raw.push_back(solver.get());
   Optimus optimus(options_.optimus);
@@ -148,7 +199,7 @@ StatusOr<std::size_t> MipsEngine::StrategyForK(Index k) {
   OptimusReport report;
   MIPS_RETURN_IF_ERROR(
       optimus.DecidePrepared(users_, items_, k, raw, &winner, &report));
-  winner_by_k_[k] = winner;
+  InsertDecision(k, winner);
   stats_.redecisions.fetch_add(1, std::memory_order_relaxed);
   stats_.redecision_seconds.fetch_add(report.total_seconds,
                                       std::memory_order_relaxed);
@@ -251,7 +302,7 @@ const std::string& MipsEngine::strategy() const {
   const std::size_t forced = forced_.load(std::memory_order_acquire);
   if (forced != kNoForcedStrategy) return names_[forced];
   std::shared_lock<std::shared_mutex> lock(decision_mu_);
-  return names_[winner_by_k_.at(options_.k)];
+  return names_[winner_by_k_.at(options_.k).winner];
 }
 
 MipsEngine::Stats MipsEngine::stats() const {
@@ -264,6 +315,17 @@ MipsEngine::Stats MipsEngine::stats() const {
   snapshot.serve_seconds = stats_.serve_seconds.load(std::memory_order_relaxed);
   snapshot.redecision_seconds =
       stats_.redecision_seconds.load(std::memory_order_relaxed);
+  snapshot.decision_cache_hits =
+      stats_.decision_cache_hits.load(std::memory_order_relaxed);
+  snapshot.decision_cache_misses =
+      stats_.decision_cache_misses.load(std::memory_order_relaxed);
+  snapshot.decision_cache_evictions =
+      stats_.decision_cache_evictions.load(std::memory_order_relaxed);
+  {
+    std::shared_lock<std::shared_mutex> lock(decision_mu_);
+    snapshot.decision_cache_size =
+        static_cast<int64_t>(winner_by_k_.size());
+  }
   return snapshot;
 }
 

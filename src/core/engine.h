@@ -70,12 +70,26 @@ struct EngineOptions {
   OptimusOptions optimus;
   /// Worker threads owned by the engine and shared by all candidates
   /// (0 = single-threaded).  Also used to build the candidate indexes
-  /// concurrently during Open.
+  /// concurrently during Open.  Ignored when `shared_pool` is set.
   int threads = 0;
+  /// Optional externally owned worker pool.  When non-null the engine
+  /// uses it instead of creating its own (and `threads` is ignored); the
+  /// pool must outlive the engine.  ShardedMipsEngine uses this to run N
+  /// shard engines on one pool.  The caller must not Open() the engine
+  /// from inside a task running ON this pool — Open waits on the pool for
+  /// the candidate builds, and ThreadPool::Wait from inside a task
+  /// deadlocks.
+  ThreadPool* shared_pool = nullptr;
   /// When a query's k has no cached decision: true re-runs the OPTIMUS
   /// decision at that k (and caches it), false reuses the opening
   /// winner.  Exactness is unaffected either way.
   bool redecide_on_new_k = true;
+  /// Upper bound on cached per-k decisions (the opening k is pinned and
+  /// counts toward the bound; it is never evicted).  When a new k's
+  /// decision would exceed the bound, the least-recently-used cached k is
+  /// evicted — a later query at that k re-decides.  Bounds the memory an
+  /// adversarial stream of distinct ks can pin.  0 = unbounded.
+  int decision_cache_capacity = 64;
 };
 
 /// A long-lived exact-MIPS serving engine over one (users, items) model.
@@ -138,6 +152,15 @@ class MipsEngine {
     int64_t redecisions = 0;
     double serve_seconds = 0;
     double redecision_seconds = 0;
+    /// Decision-cache accounting: a hit is a query whose k already has a
+    /// cached winner; a miss triggers either a re-decision or the
+    /// opening-winner fallback (redecide_on_new_k = false).  Evictions
+    /// count cached ks dropped to keep the cache within
+    /// decision_cache_capacity; size is the current entry count.
+    int64_t decision_cache_hits = 0;
+    int64_t decision_cache_misses = 0;
+    int64_t decision_cache_evictions = 0;
+    int64_t decision_cache_size = 0;
   };
   Stats stats() const;
 
@@ -149,19 +172,42 @@ class MipsEngine {
   /// exclusive lock (serializing the decision) on a miss.
   StatusOr<std::size_t> StrategyForK(Index k);
 
+  /// The pool serving this engine: the shared external pool when one was
+  /// injected, else the engine-owned pool (null = single-threaded).
+  ThreadPool* pool() const {
+    return options_.shared_pool != nullptr ? options_.shared_pool
+                                           : owned_pool_.get();
+  }
+
   ConstRowBlock users_;
   ConstRowBlock items_;
   EngineOptions options_;
-  std::unique_ptr<ThreadPool> pool_;
+  std::unique_ptr<ThreadPool> owned_pool_;
   std::vector<std::unique_ptr<MipsSolver>> solvers_;
   std::vector<std::string> names_;  // solver names, parallel to solvers_
   std::vector<std::string> specs_;  // opening specs, parallel to solvers_
 
+  /// One cached per-k decision.  `last_used` is a recency stamp from
+  /// decision_clock_, bumped with a relaxed store on every (shared-locked)
+  /// hit; eviction drops the smallest stamp.  Stored in a node-based map
+  /// so the atomic member never needs to move.
+  struct CachedDecision {
+    explicit CachedDecision(std::size_t w) : winner(w) {}
+    std::size_t winner;
+    mutable std::atomic<uint64_t> last_used{0};
+  };
+
   /// Guards winner_by_k_.  Shared: cache lookups.  Exclusive: inserting
   /// the winner for a new k (held across DecidePrepared so one decision
-  /// runs at a time and latecomers reuse its result).
+  /// runs at a time and latecomers reuse its result) and evicting.
   mutable std::shared_mutex decision_mu_;
-  std::map<Index, std::size_t> winner_by_k_;
+  std::map<Index, CachedDecision> winner_by_k_;
+  std::atomic<uint64_t> decision_clock_{0};
+
+  /// Caches `winner` for k, evicting the least-recently-used non-pinned
+  /// entries while the cache exceeds capacity.  Caller holds decision_mu_
+  /// exclusively.
+  void InsertDecision(Index k, std::size_t winner);
 
   std::atomic<std::size_t> forced_{kNoForcedStrategy};
   OptimusReport report_;
@@ -173,6 +219,9 @@ class MipsEngine {
     std::atomic<int64_t> redecisions{0};
     std::atomic<double> serve_seconds{0};
     std::atomic<double> redecision_seconds{0};
+    std::atomic<int64_t> decision_cache_hits{0};
+    std::atomic<int64_t> decision_cache_misses{0};
+    std::atomic<int64_t> decision_cache_evictions{0};
   };
   AtomicStats stats_;
 

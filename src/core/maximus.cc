@@ -181,8 +181,11 @@ Status MaximusSolver::TopKForUsers(Index k, std::span<const Index> user_ids,
           const Real* nu = normalized.Row(r);
           TopKHeap& heap = heaps[static_cast<std::size_t>(r)];
           for (Index pos = 0; pos < n; ++pos) {
+            // Strict prune (`<`, not `<=`): a bound equal to the heap
+            // minimum can cover a tied score, and the tied item must
+            // reach Push for the id tie-break (topk_heap.h).
             if (heap.full() &&
-                list.bounds[static_cast<std::size_t>(pos)] <=
+                list.bounds[static_cast<std::size_t>(pos)] <
                     heap.MinScore()) {
               break;
             }
@@ -229,7 +232,7 @@ Status MaximusSolver::TopKForUsers(Index k, std::span<const Index> user_ids,
             bool done = false;
             for (Index p = 0; p < len; ++p) {
               if (heap.full() &&
-                  list.bounds[static_cast<std::size_t>(pos0 + p)] <=
+                  list.bounds[static_cast<std::size_t>(pos0 + p)] <
                       heap.MinScore()) {
                 done = true;
                 break;
@@ -319,7 +322,7 @@ Status MaximusSolver::QueryDynamicUser(const Real* user, Index k,
     heap.Push(id, Dot(nu.data(), items_.Row(id), f));
   }
   for (Index pos = seed; pos < n; ++pos) {
-    if (list.bounds[static_cast<std::size_t>(pos)] + slack <=
+    if (list.bounds[static_cast<std::size_t>(pos)] + slack <
         heap.MinScore()) {
       break;
     }

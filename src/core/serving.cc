@@ -17,31 +17,71 @@ StatusOr<std::unique_ptr<ServingSession>> ServingSession::Open(
   // caller bug, so serve it with the opening winner instead of paying
   // for a re-decision.
   engine_options.redecide_on_new_k = false;
-  auto engine = MipsEngine::Open(users, items, engine_options);
-  MIPS_RETURN_IF_ERROR(engine.status());
 
   std::unique_ptr<ServingSession> session(new ServingSession());
   session->k_ = options.k;
+  if (options.num_shards > 1) {
+    ShardedEngineOptions sharded_options;
+    sharded_options.num_shards = options.num_shards;
+    sharded_options.sharding = options.sharding;
+    sharded_options.engine = engine_options;
+    auto sharded = ShardedMipsEngine::Open(users, items, sharded_options);
+    MIPS_RETURN_IF_ERROR(sharded.status());
+    session->sharded_engine_ = std::move(*sharded);
+    // Freeze the '|'-joined per-shard winner summary: with re-decisions
+    // off and no forcing, per-shard strategies cannot change.
+    for (int s = 0; s < session->sharded_engine_->num_shards(); ++s) {
+      if (session->sharded_engine_->shard_engine(s) == nullptr) continue;
+      if (session->sharded_strategy_.empty()) session->first_active_shard_ = s;
+      if (!session->sharded_strategy_.empty()) {
+        session->sharded_strategy_ += '|';
+      }
+      session->sharded_strategy_ += session->sharded_engine_->shard_strategy(s);
+    }
+    return session;
+  }
+  auto engine = MipsEngine::Open(users, items, engine_options);
+  MIPS_RETURN_IF_ERROR(engine.status());
   session->engine_ = std::move(*engine);
   return session;
 }
 
 Status ServingSession::ServeBatch(std::span<const Index> user_ids,
                                   TopKResult* out) {
-  MIPS_RETURN_IF_ERROR(engine_->TopK(k_, user_ids, out));
-  const MipsEngine::Stats& engine_stats = engine_->stats();
-  stats_.batches_served = engine_stats.batches_served;
-  stats_.users_served = engine_stats.users_served;
-  stats_.serve_seconds = engine_stats.serve_seconds;
+  if (engine_ != nullptr) {
+    MIPS_RETURN_IF_ERROR(engine_->TopK(k_, user_ids, out));
+    const MipsEngine::Stats& engine_stats = engine_->stats();
+    stats_.batches_served = engine_stats.batches_served;
+    stats_.users_served = engine_stats.users_served;
+    stats_.serve_seconds = engine_stats.serve_seconds;
+    return Status::OK();
+  }
+  // counters(), not stats(): the full per-shard snapshot (vector +
+  // strings + per-shard locks) is diagnostics-priced, not
+  // per-request-priced.  Snapshot assignment (no read-modify-write)
+  // mirrors the unsharded branch so concurrent ServeBatch callers never
+  // lose counts — the engine's atomics are the source of truth.
+  MIPS_RETURN_IF_ERROR(sharded_engine_->TopK(k_, user_ids, out));
+  const ShardedMipsEngine::Counters counters = sharded_engine_->counters();
+  stats_.batches_served = counters.batches_served;
+  stats_.users_served = counters.users_served;
+  stats_.serve_seconds = counters.serve_seconds;
   return Status::OK();
 }
 
 Status ServingSession::ServeNewUser(const Real* user_vector,
                                     TopKEntry* out_row) {
-  MIPS_RETURN_IF_ERROR(engine_->TopKNewUser(user_vector, k_, out_row));
-  const MipsEngine::Stats& engine_stats = engine_->stats();
-  stats_.new_users_served = engine_stats.new_users_served;
-  stats_.serve_seconds = engine_stats.serve_seconds;
+  if (engine_ != nullptr) {
+    MIPS_RETURN_IF_ERROR(engine_->TopKNewUser(user_vector, k_, out_row));
+    const MipsEngine::Stats& engine_stats = engine_->stats();
+    stats_.new_users_served = engine_stats.new_users_served;
+    stats_.serve_seconds = engine_stats.serve_seconds;
+    return Status::OK();
+  }
+  MIPS_RETURN_IF_ERROR(sharded_engine_->TopKNewUser(user_vector, k_, out_row));
+  const ShardedMipsEngine::Counters counters = sharded_engine_->counters();
+  stats_.new_users_served = counters.new_users_served;
+  stats_.serve_seconds = counters.serve_seconds;
   return Status::OK();
 }
 

@@ -21,6 +21,7 @@
 
 #include "core/engine.h"
 #include "core/optimus.h"
+#include "shard/sharded_engine.h"
 #include "solvers/solver.h"
 
 namespace mips {
@@ -33,6 +34,11 @@ struct ServingOptions {
   std::vector<std::string> strategies = {"bmm", "maximus"};
   /// Optimizer knobs for the opening decision.
   OptimusOptions optimus;
+  /// Item shards (> 1 serves through a ShardedMipsEngine: one OPTIMUS
+  /// decision per shard, exact scatter/gather answers).
+  int num_shards = 1;
+  /// Item placement when num_shards > 1.
+  ShardingStrategy sharding = ShardingStrategy::kContiguous;
 };
 
 /// A long-lived serving endpoint over one (users, items) model.
@@ -53,11 +59,23 @@ class ServingSession {
   /// matrix (Section III-E).  `out_row` must hold k entries.
   Status ServeNewUser(const Real* user_vector, TopKEntry* out_row);
 
-  /// Name of the strategy OPTIMUS selected at Open time.
-  const std::string& strategy() const { return engine_->strategy(); }
-  /// The opening decision trace.
+  /// Name of the strategy OPTIMUS selected at Open time.  For a sharded
+  /// session this is the '|'-joined per-shard winners in shard order
+  /// (e.g. "lemp|bmm"), frozen at Open: sessions are fixed-k with
+  /// re-decisions disabled, so it only goes stale if the caller forces
+  /// strategies through the mutable sharded_engine() handle — read
+  /// sharded_engine()->shard_strategy(s) for live values in that case
+  /// (the unsharded path's strategy() does reflect forcing live).
+  const std::string& strategy() const {
+    return engine_ != nullptr ? engine_->strategy() : sharded_strategy_;
+  }
+  /// The opening decision trace (first non-empty shard's trace when
+  /// sharded; per-shard traces are on sharded_engine()->shard_engine(s)).
   const OptimusReport& decision_report() const {
-    return engine_->decision_report();
+    return engine_ != nullptr
+               ? engine_->decision_report()
+               : sharded_engine_->shard_engine(first_active_shard_)
+                     ->decision_report();
   }
 
   /// Cumulative serving statistics.
@@ -70,13 +88,19 @@ class ServingSession {
   const Stats& stats() const { return stats_; }
 
   /// The engine this session wraps (full API: per-call k, overrides).
+  /// Null when the session is sharded — use sharded_engine() then.
   MipsEngine* engine() { return engine_.get(); }
+  /// The sharded engine (num_shards > 1 sessions); null otherwise.
+  ShardedMipsEngine* sharded_engine() { return sharded_engine_.get(); }
 
  private:
   ServingSession() = default;
 
   Index k_ = 0;
   std::unique_ptr<MipsEngine> engine_;
+  std::unique_ptr<ShardedMipsEngine> sharded_engine_;
+  std::string sharded_strategy_;
+  int first_active_shard_ = 0;
   Stats stats_;
 };
 

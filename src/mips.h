@@ -24,6 +24,8 @@
 #include "data/mf_trainer.h"      // IWYU pragma: export
 #include "data/synthetic.h"       // IWYU pragma: export
 #include "linalg/matrix.h"        // IWYU pragma: export
+#include "shard/partition.h"      // IWYU pragma: export
+#include "shard/sharded_engine.h" // IWYU pragma: export
 #include "solvers/bmm.h"          // IWYU pragma: export
 #include "solvers/fexipro/fexipro.h"  // IWYU pragma: export
 #include "solvers/lemp/lemp.h"    // IWYU pragma: export

@@ -1,0 +1,105 @@
+#include "shard/partition.h"
+
+#include <cstring>
+
+#include "common/thread_pool.h"
+
+namespace mips {
+
+const char* ToString(ShardingStrategy strategy) {
+  switch (strategy) {
+    case ShardingStrategy::kContiguous:
+      return "contiguous";
+    case ShardingStrategy::kHash:
+      return "hash";
+  }
+  return "unknown";
+}
+
+StatusOr<ShardingStrategy> ParseShardingStrategy(const std::string& name) {
+  if (name == "contiguous") return ShardingStrategy::kContiguous;
+  if (name == "hash") return ShardingStrategy::kHash;
+  return Status::InvalidArgument("unknown sharding strategy \"" + name +
+                                 "\" (want contiguous or hash)");
+}
+
+int HashShardOfItem(Index global_id, int num_shards) {
+  // splitmix64-style finalizer: full-avalanche, so consecutive ids land
+  // on unrelated shards and norm/popularity runs in the catalog spread
+  // evenly.
+  uint64_t x = static_cast<uint64_t>(static_cast<uint32_t>(global_id));
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return static_cast<int>(x % static_cast<uint64_t>(num_shards));
+}
+
+StatusOr<ItemPartition> ItemPartition::Create(const ConstRowBlock& items,
+                                              int num_shards,
+                                              ShardingStrategy strategy) {
+  if (num_shards < 1) {
+    return Status::InvalidArgument("num_shards must be >= 1, got " +
+                                   std::to_string(num_shards));
+  }
+  if (items.rows() <= 0) {
+    return Status::InvalidArgument("item set must be non-empty");
+  }
+
+  ItemPartition partition;
+  partition.strategy_ = strategy;
+  partition.num_items_ = items.rows();
+  partition.shards_.resize(static_cast<std::size_t>(num_shards));
+
+  if (strategy == ShardingStrategy::kContiguous) {
+    const std::vector<RangeChunk> chunks =
+        SplitRange(items.rows(), num_shards);
+    for (int s = 0; s < num_shards; ++s) {
+      ItemShard& shard = partition.shards_[static_cast<std::size_t>(s)];
+      const auto begin = static_cast<Index>(chunks[static_cast<std::size_t>(s)].begin);
+      const auto end = static_cast<Index>(chunks[static_cast<std::size_t>(s)].end);
+      shard.global_offset = begin;
+      shard.items = ConstRowBlock(
+          end > begin ? items.Row(begin) : nullptr, end - begin, items.cols());
+    }
+    return partition;
+  }
+
+  // kHash: bucket ids, then gather each bucket's rows into owned storage.
+  std::vector<std::vector<Index>> buckets(
+      static_cast<std::size_t>(num_shards));
+  for (Index i = 0; i < items.rows(); ++i) {
+    buckets[static_cast<std::size_t>(HashShardOfItem(i, num_shards))]
+        .push_back(i);
+  }
+  partition.gathered_.resize(static_cast<std::size_t>(num_shards));
+  const Index f = items.cols();
+  for (int s = 0; s < num_shards; ++s) {
+    ItemShard& shard = partition.shards_[static_cast<std::size_t>(s)];
+    shard.global_ids = std::move(buckets[static_cast<std::size_t>(s)]);
+    Matrix& rows = partition.gathered_[static_cast<std::size_t>(s)];
+    rows.Resize(static_cast<Index>(shard.global_ids.size()), f);
+    for (std::size_t local = 0; local < shard.global_ids.size(); ++local) {
+      std::memcpy(rows.Row(static_cast<Index>(local)),
+                  items.Row(shard.global_ids[local]),
+                  sizeof(Real) * static_cast<std::size_t>(f));
+    }
+    shard.items = ConstRowBlock(rows);
+  }
+  return partition;
+}
+
+int ItemPartition::ShardOfItem(Index global_id) const {
+  if (strategy_ == ShardingStrategy::kHash) {
+    return HashShardOfItem(global_id, num_shards());
+  }
+  for (int s = 0; s < num_shards(); ++s) {
+    const ItemShard& shard = shards_[static_cast<std::size_t>(s)];
+    if (global_id >= shard.global_offset &&
+        global_id < shard.global_offset + shard.num_items()) {
+      return s;
+    }
+  }
+  return -1;  // out-of-range id
+}
+
+}  // namespace mips

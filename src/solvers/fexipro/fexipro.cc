@@ -143,8 +143,11 @@ Index FexiproSolver::QueryOneUser(const Real* user, Index k,
   for (Index pos = 0; pos < n; ++pos) {
     const Real min_h = heap.MinScore();
     // (1) Length bound: the scan order is norm-descending, so the first
-    // failing item ends the entire query.
-    if (heap.full() && norms_[static_cast<std::size_t>(pos)] * s->user_norm <=
+    // failing item ends the entire query.  All bounds here prune
+    // strictly (`< min_h`): a bound equal to the heap minimum can cover
+    // a tied score, and the tied item must reach Push for the id
+    // tie-break (topk_heap.h).
+    if (heap.full() && norms_[static_cast<std::size_t>(pos)] * s->user_norm <
                            min_h) {
       break;
     }
@@ -159,14 +162,14 @@ Index FexiproSolver::QueryOneUser(const Real* user, Index k,
         const Real int_bound = fexipro::QuantizedUpperBound(
             idot, s->user_l1, item_l1_[static_cast<std::size_t>(pos)],
             int_dims_, s->user_scale, item_quantizer_.scale);
-        if (int_bound <= min_h) continue;
+        if (int_bound < min_h) continue;
       }
       // (3) SVD partial product + Cauchy-Schwarz tail.
       const Real head = Dot(su, item, h);
       if (options_.use_svd_bound) {
         const Real svd_bound =
             head + s->tail_norm * tail_norms_[static_cast<std::size_t>(pos)];
-        if (svd_bound <= min_h) continue;
+        if (svd_bound < min_h) continue;
       }
       // (4) Exact score.
       const Real score = head + Dot(su + h, item + h, f - h);

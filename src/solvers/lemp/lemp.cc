@@ -79,20 +79,24 @@ Index LempSolver::QueryOneUser(
     const Bucket& bucket = buckets_[bi];
     const Real min_h = heap.MinScore();
     // Bucket-level termination: every item here (and in all later buckets)
-    // has norm <= max_norm, so u.i <= ||u|| * max_norm.
-    if (heap.full() && bucket.max_norm * user_norm <= min_h) break;
+    // has norm <= max_norm, so u.i <= ||u|| * max_norm.  All pruning in
+    // this walk is strict (`< min_h`, not `<=`): a bound equal to the
+    // heap minimum can belong to a score that ties it, and the tied item
+    // must reach Push so the lower item id wins deterministically
+    // (topk_heap.h).
+    if (heap.full() && bucket.max_norm * user_norm < min_h) break;
 
     const BucketAlgorithm algorithm = algorithms[bi];
     // Coordinate-range prune: may skip this bucket entirely (but not the
     // later ones — the coordinate bound is not monotone across buckets).
     if (algorithm == BucketAlgorithm::kCoord && heap.full() &&
-        CoordBucketBound(user, bucket, f) <= min_h) {
+        CoordBucketBound(user, bucket, f) < min_h) {
       continue;
     }
     for (Index pos = bucket.begin; pos < bucket.end; ++pos) {
       const Real norm = sorted_.norms[static_cast<std::size_t>(pos)];
       if (algorithm != BucketAlgorithm::kNaive && heap.full() &&
-          norm * user_norm <= heap.MinScore()) {
+          norm * user_norm < heap.MinScore()) {
         // Items are norm-sorted inside the bucket too: nothing later in
         // this bucket can qualify.
         break;
@@ -113,7 +117,7 @@ Index LempSolver::QueryOneUser(
           const Real tail =
               scratch.suffix_norms[static_cast<std::size_t>(c)] *
               sorted_.suffix_norms[static_cast<std::size_t>(pos) * ncp + c];
-          if (partial + tail <= heap.MinScore()) {
+          if (partial + tail < heap.MinScore()) {
             pruned = true;
             break;
           }
@@ -158,12 +162,12 @@ void LempSolver::Calibrate(Index k, std::span<const Index> user_ids) {
       TopKHeap heap(k);
       for (std::size_t bi = 0; bi < num_buckets; ++bi) {
         const Bucket& bucket = buckets_[bi];
-        if (heap.full() && bucket.max_norm * user_norm <= heap.MinScore()) {
+        if (heap.full() && bucket.max_norm * user_norm < heap.MinScore()) {
           break;
         }
         WallTimer bucket_timer;
         if (algorithm == BucketAlgorithm::kCoord && heap.full() &&
-            CoordBucketBound(user, bucket, f) <= heap.MinScore()) {
+            CoordBucketBound(user, bucket, f) < heap.MinScore()) {
           const std::size_t skip_slot =
               bi * lemp::kNumBucketAlgorithms + static_cast<std::size_t>(a);
           cost[skip_slot] += bucket_timer.Seconds();
@@ -173,7 +177,7 @@ void LempSolver::Calibrate(Index k, std::span<const Index> user_ids) {
         for (Index pos = bucket.begin; pos < bucket.end; ++pos) {
           const Real norm = sorted_.norms[static_cast<std::size_t>(pos)];
           if (algorithm != BucketAlgorithm::kNaive && heap.full() &&
-              norm * user_norm <= heap.MinScore()) {
+              norm * user_norm < heap.MinScore()) {
             break;
           }
           const Real* v = sorted_.vectors.Row(pos);
@@ -190,7 +194,7 @@ void LempSolver::Calibrate(Index k, std::span<const Index> user_ids) {
               const Real tail =
                   scratch.suffix_norms[static_cast<std::size_t>(c)] *
                   sorted_.suffix_norms[static_cast<std::size_t>(pos) * ncp + c];
-              if (partial + tail <= heap.MinScore()) {
+              if (partial + tail < heap.MinScore()) {
                 pruned = true;
                 break;
               }

@@ -1,0 +1,72 @@
+#include "topk/merge.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace mips {
+
+namespace {
+
+/// Read position inside one input row.
+struct Cursor {
+  const TopKEntry* row;
+  Index pos;
+};
+
+}  // namespace
+
+void MergeTopKRows(std::span<const TopKEntry* const> rows, Index k_in,
+                   Index k_out, TopKEntry* out) {
+  assert(k_in > 0 && k_out > 0);
+  // Cursor heap keyed by the entry each cursor points at; the best entry
+  // (BetterEntry order) sits at the front.  O(k_out * log S) for S shards.
+  std::vector<Cursor> heap;
+  heap.reserve(rows.size());
+  const auto cursor_worse = [](const Cursor& a, const Cursor& b) {
+    // push_heap keeps the element for which nothing is "greater" at the
+    // front; "greater" == better entry puts the best cursor there.
+    return BetterEntry(b.row[b.pos], a.row[a.pos]);
+  };
+  for (const TopKEntry* row : rows) {
+    if (row != nullptr && row[0].item >= 0) heap.push_back({row, 0});
+  }
+  std::make_heap(heap.begin(), heap.end(), cursor_worse);
+
+  Index written = 0;
+  while (written < k_out && !heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), cursor_worse);
+    Cursor& best = heap.back();
+    out[written++] = best.row[best.pos];
+    ++best.pos;
+    // A sentinel ({-1, -inf}) marks the end of a row's real entries: rows
+    // are sorted descending, so everything after it is padding too.
+    if (best.pos < k_in && best.row[best.pos].item >= 0) {
+      std::push_heap(heap.begin(), heap.end(), cursor_worse);
+    } else {
+      heap.pop_back();
+    }
+  }
+  for (; written < k_out; ++written) {
+    out[written] = {-1, -std::numeric_limits<Real>::infinity()};
+  }
+}
+
+void MergeTopKResults(std::span<const TopKResult* const> shard_results,
+                      Index k_out, TopKResult* out) {
+  assert(!shard_results.empty());
+  const Index num_queries = shard_results.front()->num_queries();
+  const Index k_in = shard_results.front()->k();
+  *out = TopKResult(num_queries, k_out);
+  std::vector<const TopKEntry*> rows(shard_results.size());
+  for (Index q = 0; q < num_queries; ++q) {
+    for (std::size_t s = 0; s < shard_results.size(); ++s) {
+      assert(shard_results[s]->num_queries() == num_queries);
+      assert(shard_results[s]->k() == k_in);
+      rows[s] = shard_results[s]->Row(q);
+    }
+    MergeTopKRows(rows, k_in, k_out, out->Row(q));
+  }
+}
+
+}  // namespace mips

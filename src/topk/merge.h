@@ -1,0 +1,39 @@
+// Exact k-way merge of per-shard top-K rows.
+//
+// A sharded engine answers one query by running top-K independently on
+// every item shard and merging the per-shard rows into the global top-K.
+// Because every item lives in exactly one shard, the union of the shard
+// rows is a superset of the true global top-K, so the merge is exact.
+// Rows are merged under the library-wide BetterEntry order (score desc,
+// item id asc), which makes the merged row identical to the row an
+// unsharded heap over all items would produce — including the entries
+// picked on score ties — regardless of shard count or merge order.
+
+#ifndef MIPS_TOPK_MERGE_H_
+#define MIPS_TOPK_MERGE_H_
+
+#include <span>
+#include <vector>
+
+#include "topk/result.h"
+
+namespace mips {
+
+/// Merges `rows` — each a sorted-descending top-K row of `k_in` entries,
+/// possibly tail-padded with {-1, -inf} sentinels — into the best `k_out`
+/// entries, written to out[0..k_out) sorted by BetterEntry.  Sentinels in
+/// the inputs are skipped; if fewer than `k_out` real entries exist across
+/// all rows, the output tail is sentinel-padded.  Item ids must be
+/// globally unique across rows (each item lives in one shard).
+void MergeTopKRows(std::span<const TopKEntry* const> rows, Index k_in,
+                   Index k_out, TopKEntry* out);
+
+/// Row-by-row merge of whole shard results into *out (resized to
+/// (num_queries, k_out)).  Every input must have the same num_queries and
+/// the same per-row entry count.
+void MergeTopKResults(std::span<const TopKResult* const> shard_results,
+                      Index k_out, TopKResult* out);
+
+}  // namespace mips
+
+#endif  // MIPS_TOPK_MERGE_H_

@@ -23,6 +23,16 @@ struct TopKEntry {
   bool operator==(const TopKEntry& other) const = default;
 };
 
+/// The one total order every top-K producer in this library agrees on:
+/// higher score first, lower item id on equal scores.  TopKHeap eviction,
+/// row extraction, and the shard k-way merge all use it, so a result row
+/// is deterministic regardless of item visit order — and a sharded
+/// scatter/gather merge reproduces the unsharded row bit-for-bit.
+inline bool BetterEntry(const TopKEntry& a, const TopKEntry& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.item < b.item;
+}
+
 /// Batch top-K results: `num_queries` rows of exactly `k` entries each,
 /// each row sorted by (score desc, item asc).
 class TopKResult {

@@ -34,18 +34,26 @@ class TopKHeap {
                   : -std::numeric_limits<Real>::infinity();
   }
 
-  /// True if a candidate with this score would enter the heap.
-  bool WouldAccept(Real score) const { return score > MinScore(); }
+  /// True if a candidate with this score could enter the heap.  Scores
+  /// equal to the minimum are accepted so that Push can apply the
+  /// deterministic item-id tie-break.  For the same reason, index walks
+  /// must prune on `bound < MinScore()` (strictly below), never
+  /// `bound <= MinScore()`: an upper bound equal to the heap minimum can
+  /// belong to a score that TIES the minimum, and skipping it would make
+  /// the reported id depend on visit order instead of on BetterEntry.
+  bool WouldAccept(Real score) const { return score >= MinScore(); }
 
-  /// Inserts (item, score) if it beats the current minimum (or the heap is
-  /// not full).  Returns true if inserted.
+  /// Inserts (item, score) if it beats the current minimum under
+  /// BetterEntry — strictly higher score, or an equal score with a lower
+  /// item id (so heap contents are deterministic under ties regardless of
+  /// visit order).  Returns true if inserted.
   bool Push(Index item, Real score) {
     if (!full()) {
       heap_.push_back({item, score});
       std::push_heap(heap_.begin(), heap_.end(), MinOnTop);
       return true;
     }
-    if (score <= heap_.front().score) return false;
+    if (!BetterEntry({item, score}, heap_.front())) return false;
     std::pop_heap(heap_.begin(), heap_.end(), MinOnTop);
     heap_.back() = {item, score};
     std::push_heap(heap_.begin(), heap_.end(), MinOnTop);
@@ -58,11 +66,7 @@ class TopKHeap {
   /// asc).  If fewer than K entries were pushed (n < K items exist), the
   /// tail is filled with {-1, -inf} sentinels.  The heap is left empty.
   void ExtractDescending(TopKEntry* out) {
-    std::sort(heap_.begin(), heap_.end(), [](const TopKEntry& a,
-                                             const TopKEntry& b) {
-      if (a.score != b.score) return a.score > b.score;
-      return a.item < b.item;
-    });
+    std::sort(heap_.begin(), heap_.end(), BetterEntry);
     Index i = 0;
     for (; i < size(); ++i) out[i] = heap_[static_cast<std::size_t>(i)];
     for (; i < k_; ++i) {
@@ -72,11 +76,12 @@ class TopKHeap {
   }
 
  private:
-  // std::push_heap builds a max-heap under the comparator; "greater"
-  // therefore puts the minimum at the front.
+  // std::push_heap builds a max-heap under the comparator; "better" on
+  // top of the comparison therefore puts the worst entry — lowest score,
+  // largest item id among ties — at the front, which is exactly the entry
+  // Push must evict first.
   static bool MinOnTop(const TopKEntry& a, const TopKEntry& b) {
-    if (a.score != b.score) return a.score > b.score;
-    return a.item < b.item;
+    return BetterEntry(a, b);
   }
 
   Index k_;

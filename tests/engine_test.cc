@@ -303,6 +303,84 @@ TEST(EngineTest, StatsAccumulate) {
   EXPECT_GT((*engine)->stats().serve_seconds, 0.0);
 }
 
+TEST(EngineTest, DecisionCacheCountsHitsAndMisses) {
+  const MFModel model = MakeTestModel(120, 60, 6, 25);
+  auto engine = MipsEngine::Open(ConstRowBlock(model.users),
+                                 ConstRowBlock(model.items),
+                                 SmallEngineOptions(5));
+  ASSERT_TRUE(engine.ok());
+  TopKResult out;
+  const std::vector<Index> batch = {0, 1};
+
+  // Opening k: pure hits.
+  ASSERT_TRUE((*engine)->TopK(5, batch, &out).ok());
+  ASSERT_TRUE((*engine)->TopK(5, batch, &out).ok());
+  EXPECT_EQ((*engine)->stats().decision_cache_hits, 2);
+  EXPECT_EQ((*engine)->stats().decision_cache_misses, 0);
+  EXPECT_EQ((*engine)->stats().decision_cache_size, 1);
+
+  // New k: one miss + re-decision, then hits.
+  ASSERT_TRUE((*engine)->TopK(9, batch, &out).ok());
+  ASSERT_TRUE((*engine)->TopK(9, batch, &out).ok());
+  EXPECT_EQ((*engine)->stats().decision_cache_misses, 1);
+  EXPECT_EQ((*engine)->stats().decision_cache_hits, 3);
+  EXPECT_EQ((*engine)->stats().decision_cache_size, 2);
+  EXPECT_EQ((*engine)->stats().decision_cache_evictions, 0);
+
+  // A forced strategy bypasses the cache entirely.
+  ASSERT_TRUE((*engine)->ForceStrategy("bmm").ok());
+  ASSERT_TRUE((*engine)->TopK(7, batch, &out).ok());
+  EXPECT_EQ((*engine)->stats().decision_cache_misses, 1);
+  EXPECT_EQ((*engine)->stats().decision_cache_hits, 3);
+}
+
+TEST(EngineTest, DecisionCacheEvictsLeastRecentlyUsedK) {
+  // Flood the engine with distinct ks: the per-k winner cache must stay
+  // within decision_cache_capacity, evicting LRU entries (never the
+  // pinned opening k), and an evicted k must re-decide when it returns.
+  const MFModel model = MakeTestModel(100, 50, 6, 27);
+  EngineOptions options = SmallEngineOptions(5);
+  options.solvers = {"bmm", "naive"};
+  options.decision_cache_capacity = 4;
+  auto engine = MipsEngine::Open(ConstRowBlock(model.users),
+                                 ConstRowBlock(model.items), options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  TopKResult out;
+  const std::vector<Index> batch = {0, 1, 2};
+  for (Index k = 1; k <= 12; ++k) {
+    if (k == 5) continue;  // the opening k is already cached
+    ASSERT_TRUE((*engine)->TopK(k, batch, &out).ok());
+  }
+  MipsEngine::Stats stats = (*engine)->stats();
+  EXPECT_EQ(stats.decision_cache_misses, 11);
+  EXPECT_EQ(stats.redecisions, 11);
+  EXPECT_LE(stats.decision_cache_size, 4);
+  // 1 pinned + 11 inserted - 4 kept = 8 dropped.
+  EXPECT_EQ(stats.decision_cache_evictions, 8);
+
+  // The pinned opening k never re-decides, no matter how much was
+  // evicted around it.
+  ASSERT_TRUE((*engine)->TopK(5, batch, &out).ok());
+  EXPECT_EQ((*engine)->stats().redecisions, 11);
+
+  // An evicted k (k=1 is long gone) pays a fresh re-decision; a resident
+  // one (k=12, just used) does not.
+  ASSERT_TRUE((*engine)->TopK(12, batch, &out).ok());
+  EXPECT_EQ((*engine)->stats().redecisions, 11);
+  ASSERT_TRUE((*engine)->TopK(1, batch, &out).ok());
+  EXPECT_EQ((*engine)->stats().redecisions, 12);
+
+  // Every answer stayed exact throughout the churn.
+  BmmSolver reference;
+  ASSERT_TRUE(reference.Prepare(ConstRowBlock(model.users),
+                                ConstRowBlock(model.items)).ok());
+  TopKResult expected;
+  ASSERT_TRUE((*engine)->TopK(8, batch, &out).ok());
+  ASSERT_TRUE(reference.TopKForUsers(8, batch, &expected).ok());
+  ExpectSameTopKScores(out, expected, 1e-7);
+}
+
 // ----------------------------------------------------------- concurrency
 //
 // These suites exercise the thread-safety contract: many simultaneous

@@ -12,6 +12,7 @@
 
 #include "common/rng.h"
 #include "linalg/matrix.h"
+#include "topk/merge.h"
 #include "topk/topk_block.h"
 #include "topk/topk_heap.h"
 
@@ -52,7 +53,10 @@ TEST(TopKHeapTest, TracksMinimumWhenFull) {
   heap.Push(1, 3.0);
   EXPECT_TRUE(heap.full());
   EXPECT_DOUBLE_EQ(heap.MinScore(), 3.0);
-  EXPECT_FALSE(heap.WouldAccept(3.0));  // must strictly beat the minimum
+  // A tie with the minimum may still enter (Push tie-breaks by item id),
+  // so WouldAccept cannot reject it.
+  EXPECT_TRUE(heap.WouldAccept(3.0));
+  EXPECT_FALSE(heap.WouldAccept(2.5));
   EXPECT_TRUE(heap.WouldAccept(3.5));
   heap.Push(2, 4.0);
   EXPECT_DOUBLE_EQ(heap.MinScore(), 4.0);
@@ -60,9 +64,11 @@ TEST(TopKHeapTest, TracksMinimumWhenFull) {
 
 TEST(TopKHeapTest, RejectsNonImproving) {
   TopKHeap heap(1);
-  EXPECT_TRUE(heap.Push(0, 1.0));
+  EXPECT_TRUE(heap.Push(5, 1.0));
   EXPECT_FALSE(heap.Push(1, 0.5));
-  EXPECT_FALSE(heap.Push(2, 1.0));  // ties do not replace
+  EXPECT_FALSE(heap.Push(7, 1.0));  // tie with higher id does not replace
+  EXPECT_TRUE(heap.Push(2, 1.0));   // tie with lower id replaces
+  EXPECT_FALSE(heap.Push(2, 1.0));  // an entry never replaces itself
   EXPECT_TRUE(heap.Push(3, 2.0));
   TopKEntry out[1];
   heap.ExtractDescending(out);
@@ -191,6 +197,127 @@ TEST(TopKFromScoreBlockTest, RespectsRowOffsetAndLds) {
                      /*row_offset=*/2);
   EXPECT_EQ(result.Row(2)[0].item, 4);
   EXPECT_EQ(result.Row(3)[0].item, 0);
+}
+
+constexpr Real kNegInf = -std::numeric_limits<Real>::infinity();
+
+TEST(MergeTopKRowsTest, InterleavesSortedRows) {
+  const TopKEntry a[3] = {{0, 9.0}, {2, 5.0}, {4, 1.0}};
+  const TopKEntry b[3] = {{1, 8.0}, {3, 4.0}, {5, 2.0}};
+  const TopKEntry* rows[] = {a, b};
+  TopKEntry out[4];
+  MergeTopKRows(rows, 3, 4, out);
+  EXPECT_EQ(out[0].item, 0);
+  EXPECT_EQ(out[1].item, 1);
+  EXPECT_EQ(out[2].item, 2);
+  EXPECT_EQ(out[3].item, 3);
+}
+
+TEST(MergeTopKRowsTest, TieBreaksByItemIdAcrossRows) {
+  // Equal scores across shards must come out lower-id-first, regardless
+  // of which row holds which id.
+  const TopKEntry a[2] = {{7, 3.0}, {9, 3.0}};
+  const TopKEntry b[2] = {{2, 3.0}, {8, 3.0}};
+  const TopKEntry* rows[] = {a, b};
+  TopKEntry out[3];
+  MergeTopKRows(rows, 2, 3, out);
+  EXPECT_EQ(out[0].item, 2);
+  EXPECT_EQ(out[1].item, 7);
+  EXPECT_EQ(out[2].item, 8);
+}
+
+TEST(MergeTopKRowsTest, SkipsSentinelsAndPads) {
+  // Row a has one real entry (a small shard answered k=3 with padding);
+  // row b is entirely padding (an empty-ish shard); row c is null (no
+  // engine).  The merge must surface the real entries and pad the rest.
+  const TopKEntry a[3] = {{4, 2.0}, {-1, kNegInf}, {-1, kNegInf}};
+  const TopKEntry b[3] = {{-1, kNegInf}, {-1, kNegInf}, {-1, kNegInf}};
+  const TopKEntry c[3] = {{6, 5.0}, {1, 2.0}, {-1, kNegInf}};
+  const TopKEntry* rows[] = {a, b, nullptr, c};
+  TopKEntry out[5];
+  MergeTopKRows(rows, 3, 5, out);
+  EXPECT_EQ(out[0].item, 6);
+  EXPECT_EQ(out[1].item, 1);  // ties (2.0): lower id first
+  EXPECT_EQ(out[2].item, 4);
+  EXPECT_EQ(out[3].item, -1);
+  EXPECT_EQ(out[4].item, -1);
+  EXPECT_EQ(out[4].score, kNegInf);
+}
+
+class MergePropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(MergePropertyTest, ShardedMergeMatchesSingleHeap) {
+  // Partition n scored items round-robin across S shards, take each
+  // shard's top-k with a heap, merge — the result must equal the global
+  // top-k from one heap over all items, including duplicate scores.
+  const auto [n, num_shards, seed] = GetParam();
+  const Index k = 7;
+  Rng rng(static_cast<uint64_t>(seed));
+  std::vector<Real> scores(static_cast<std::size_t>(n));
+  for (auto& s : scores) s = rng.Normal();
+  if (n >= 6) {
+    scores[3] = scores[0];  // duplicates spanning shard boundaries
+    scores[5] = scores[0];
+    scores[static_cast<std::size_t>(n - 1)] = scores[1];
+  }
+
+  std::vector<std::vector<TopKEntry>> shard_rows(
+      static_cast<std::size_t>(num_shards),
+      std::vector<TopKEntry>(static_cast<std::size_t>(k)));
+  std::vector<TopKHeap> heaps(static_cast<std::size_t>(num_shards),
+                              TopKHeap(k));
+  for (Index i = 0; i < n; ++i) {
+    heaps[static_cast<std::size_t>(i % num_shards)].Push(
+        i, scores[static_cast<std::size_t>(i)]);
+  }
+  std::vector<const TopKEntry*> rows;
+  for (int s = 0; s < num_shards; ++s) {
+    heaps[static_cast<std::size_t>(s)].ExtractDescending(
+        shard_rows[static_cast<std::size_t>(s)].data());
+    rows.push_back(shard_rows[static_cast<std::size_t>(s)].data());
+  }
+  std::vector<TopKEntry> merged(static_cast<std::size_t>(k));
+  MergeTopKRows(rows, k, k, merged.data());
+
+  const std::vector<TopKEntry> expected = ReferenceTopK(scores, k);
+  for (Index e = 0; e < k; ++e) {
+    EXPECT_EQ(merged[static_cast<std::size_t>(e)].item,
+              expected[static_cast<std::size_t>(e)].item)
+        << "n=" << n << " shards=" << num_shards << " entry " << e;
+    EXPECT_EQ(merged[static_cast<std::size_t>(e)].score,
+              expected[static_cast<std::size_t>(e)].score);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MergePropertyTest,
+    ::testing::Combine(::testing::Values(1, 3, 8, 40, 500),
+                       ::testing::Values(1, 2, 3, 7),
+                       ::testing::Values(1, 2, 3)));
+
+TEST(MergeTopKResultsTest, MergesEveryRow) {
+  TopKResult a(2, 2);
+  a.Row(0)[0] = {0, 5.0};
+  a.Row(0)[1] = {1, 1.0};
+  a.Row(1)[0] = {0, 2.0};
+  a.Row(1)[1] = {1, 1.5};
+  TopKResult b(2, 2);
+  b.Row(0)[0] = {2, 4.0};
+  b.Row(0)[1] = {3, 3.0};
+  b.Row(1)[0] = {3, 9.0};
+  b.Row(1)[1] = {2, kNegInf};
+  const TopKResult* results[] = {&a, &b};
+  TopKResult out;
+  MergeTopKResults(results, 3, &out);
+  ASSERT_EQ(out.num_queries(), 2);
+  ASSERT_EQ(out.k(), 3);
+  EXPECT_EQ(out.Row(0)[0].item, 0);
+  EXPECT_EQ(out.Row(0)[1].item, 2);
+  EXPECT_EQ(out.Row(0)[2].item, 3);
+  EXPECT_EQ(out.Row(1)[0].item, 3);
+  EXPECT_EQ(out.Row(1)[1].item, 0);
+  EXPECT_EQ(out.Row(1)[2].item, 1);
 }
 
 TEST(TopKResultTest, CopyRowFrom) {
