@@ -209,7 +209,8 @@ int main(int argc, char** argv) {
     }
     if (use_optimus) {
       const OptimusReport& report = (*engine)->decision_report();
-      std::printf("OPTIMUS chose %s; estimates:", report.chosen.c_str());
+      std::printf("OPTIMUS chose %s (gemm kernel: %s); estimates:",
+                  report.chosen.c_str(), report.gemm_kernel.c_str());
       for (const auto& est : report.estimates) {
         std::printf(" %s=%.3fs", est.name.c_str(), est.est_total_seconds);
       }

@@ -40,8 +40,9 @@ int main() {
   engine.status().CheckOK();
 
   const OptimusReport& report = (*engine)->decision_report();
-  std::printf("OPTIMUS chose: %s (sample of %d users)\n",
-              report.chosen.c_str(), report.sample_size);
+  std::printf("OPTIMUS chose: %s (sample of %d users, gemm kernel: %s)\n",
+              report.chosen.c_str(), report.sample_size,
+              report.gemm_kernel.c_str());
   for (const auto& est : report.estimates) {
     std::printf("  %-12s est. %.3f s end-to-end (construction %.3f s)\n",
                 est.name.c_str(), est.est_total_seconds,

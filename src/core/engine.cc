@@ -8,6 +8,7 @@
 #include "core/dynamic_maximus.h"
 #include "core/maximus.h"
 #include "linalg/blas.h"
+#include "linalg/simd_dispatch.h"
 #include "solvers/registry.h"
 #include "topk/topk_heap.h"
 
@@ -38,6 +39,23 @@ StatusOr<std::unique_ptr<MipsEngine>> MipsEngine::Open(
     return Status::InvalidArgument(
         "decision_cache_capacity must be >= 0, got " +
         std::to_string(options.decision_cache_capacity));
+  }
+  if (!(options.decision_ttl_seconds >= 0)) {  // rejects negatives and NaN
+    return Status::InvalidArgument(
+        "decision_ttl_seconds must be >= 0, got " +
+        std::to_string(options.decision_ttl_seconds));
+  }
+
+  // Resolve the GEMM kernel before anything measures throughput: index
+  // construction and the opening OPTIMUS decision below must run under
+  // the kernel that will serve queries, or the decision is attributed to
+  // the wrong hardware regime.
+  if (options.gemm_kernel != "auto") {
+    auto kernel = ParseGemmKernel(options.gemm_kernel);
+    MIPS_RETURN_IF_ERROR(kernel.status());
+    MIPS_RETURN_IF_ERROR(ForceGemmKernel(*kernel));
+  } else {
+    ActiveGemmKernel();  // first-use install: env override, else probe
   }
 
   std::unique_ptr<MipsEngine> engine(new MipsEngine());
@@ -103,6 +121,7 @@ StatusOr<std::unique_ptr<MipsEngine>> MipsEngine::Open(
   if (num_candidates == 1) {
     // Nothing to decide: serve with the only candidate.
     engine->report_.chosen = engine->names_[0];
+    engine->report_.gemm_kernel = ToString(ActiveGemmKernel());
     engine->report_.construction_seconds = build_seconds[0];
     engine->report_.total_seconds = build_wall_seconds;
     engine->InsertDecision(options.k, 0);
@@ -131,8 +150,10 @@ StatusOr<std::unique_ptr<MipsEngine>> MipsEngine::Open(
 }
 
 void MipsEngine::InsertDecision(Index k, std::size_t winner) {
-  winner_by_k_.emplace(std::piecewise_construct, std::forward_as_tuple(k),
-                       std::forward_as_tuple(winner));
+  winner_by_k_.erase(k);  // re-insert after a TTL expiry refreshes `created`
+  winner_by_k_.emplace(
+      std::piecewise_construct, std::forward_as_tuple(k),
+      std::forward_as_tuple(winner, std::chrono::steady_clock::now()));
   winner_by_k_.at(k).last_used.store(
       decision_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
       std::memory_order_relaxed);
@@ -159,13 +180,24 @@ void MipsEngine::InsertDecision(Index k, std::size_t winner) {
   }
 }
 
+bool MipsEngine::DecisionExpired(const CachedDecision& entry) const {
+  // TTL only matters when a fresh decision is possible; with re-deciding
+  // disabled (or one candidate) the opening winner serves forever.
+  if (options_.decision_ttl_seconds <= 0 || !options_.redecide_on_new_k ||
+      solvers_.size() < 2) {
+    return false;
+  }
+  return std::chrono::steady_clock::now() - entry.created >
+         std::chrono::duration<double>(options_.decision_ttl_seconds);
+}
+
 StatusOr<std::size_t> MipsEngine::StrategyForK(Index k) {
   const std::size_t forced = forced_.load(std::memory_order_acquire);
   if (forced != kNoForcedStrategy) return forced;
   {
     std::shared_lock<std::shared_mutex> lock(decision_mu_);
     auto it = winner_by_k_.find(k);
-    if (it != winner_by_k_.end()) {
+    if (it != winner_by_k_.end() && !DecisionExpired(it->second)) {
       // Recency bump under the shared lock: a relaxed store into the
       // entry's atomic stamp, so the hot path never takes the exclusive
       // lock.  Racing hits may reorder stamps slightly; LRU stays
@@ -176,22 +208,34 @@ StatusOr<std::size_t> MipsEngine::StrategyForK(Index k) {
       stats_.decision_cache_hits.fetch_add(1, std::memory_order_relaxed);
       return it->second.winner;
     }
+    // Unknown k, or a cached winner past its TTL: both are misses.
     stats_.decision_cache_misses.fetch_add(1, std::memory_order_relaxed);
     if (!options_.redecide_on_new_k || solvers_.size() < 2) {
       // Fall back to the opening decision: still exact, possibly not the
-      // fastest strategy for this k.
+      // fastest strategy for this k.  (Entries never expire in this
+      // mode — see DecisionExpired — so this is always an unknown k.)
       return winner_by_k_.at(options_.k).winner;
     }
   }
-  // The decision k and the query k diverged: re-run the sampling
-  // decision at the new k and cache the winner.  The candidates were
-  // all Prepared at Open (indexes are k-independent), so only the
-  // sampling measurement is repeated.  The exclusive lock serializes
-  // concurrent first-queries of the same new k: one caller measures,
-  // the rest (re-checking under the lock) reuse its cached winner.
+  // The decision k and the query k diverged (or its winner went stale):
+  // re-run the sampling decision at this k and cache the winner.  The
+  // candidates were all Prepared at Open (indexes are k-independent), so
+  // only the sampling measurement is repeated.  The exclusive lock
+  // serializes concurrent first-queries of the same new k: one caller
+  // measures, the rest (re-checking under the lock) reuse its cached
+  // winner.
   std::unique_lock<std::shared_mutex> lock(decision_mu_);
-  auto it = winner_by_k_.find(k);
-  if (it != winner_by_k_.end()) return it->second.winner;
+  bool expired = false;
+  {
+    auto it = winner_by_k_.find(k);
+    if (it != winner_by_k_.end()) {
+      if (!DecisionExpired(it->second)) return it->second.winner;
+      // The stale entry stays in place until the fresh decision below
+      // succeeds (InsertDecision replaces it), so a decision failure
+      // never leaves the pinned opening k missing.
+      expired = true;
+    }
+  }
   std::vector<MipsSolver*> raw;
   for (const auto& solver : solvers_) raw.push_back(solver.get());
   Optimus optimus(options_.optimus);
@@ -200,6 +244,9 @@ StatusOr<std::size_t> MipsEngine::StrategyForK(Index k) {
   MIPS_RETURN_IF_ERROR(
       optimus.DecidePrepared(users_, items_, k, raw, &winner, &report));
   InsertDecision(k, winner);
+  if (expired) {
+    stats_.decision_cache_expirations.fetch_add(1, std::memory_order_relaxed);
+  }
   stats_.redecisions.fetch_add(1, std::memory_order_relaxed);
   stats_.redecision_seconds.fetch_add(report.total_seconds,
                                       std::memory_order_relaxed);
@@ -321,6 +368,9 @@ MipsEngine::Stats MipsEngine::stats() const {
       stats_.decision_cache_misses.load(std::memory_order_relaxed);
   snapshot.decision_cache_evictions =
       stats_.decision_cache_evictions.load(std::memory_order_relaxed);
+  snapshot.decision_cache_expirations =
+      stats_.decision_cache_expirations.load(std::memory_order_relaxed);
+  snapshot.gemm_kernel = ToString(ActiveGemmKernel());
   {
     std::shared_lock<std::shared_mutex> lock(decision_mu_);
     snapshot.decision_cache_size =

@@ -45,6 +45,7 @@
 #define MIPS_CORE_ENGINE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -90,6 +91,23 @@ struct EngineOptions {
   /// evicted — a later query at that k re-decides.  Bounds the memory an
   /// adversarial stream of distinct ks can pin.  0 = unbounded.
   int decision_cache_capacity = 64;
+  /// Time-to-live for cached per-k winners, in seconds (0 = never
+  /// expire).  Eviction only bounds memory; a TTL bounds STALENESS: a
+  /// winner measured under one load profile (or one installed GEMM
+  /// kernel) expires, and the next query at that k re-runs the sampling
+  /// decision — including the pinned opening k.  Expirations are counted
+  /// in Stats::decision_cache_expirations.  Ignored when re-deciding is
+  /// impossible (redecide_on_new_k = false, or a single candidate):
+  /// expiring an entry that cannot be re-measured would serve nothing.
+  double decision_ttl_seconds = 0;
+  /// Which GEMM micro-kernel the engine's BMM/index GEMMs dispatch to
+  /// (linalg/simd_dispatch.h).  "auto" keeps the process-wide choice
+  /// (MIPS_GEMM_KERNEL env override, else the startup micro-probe);
+  /// "avx512" / "avx2" / "portable" force-install that kernel
+  /// process-wide before the opening decision (Open fails if it is not
+  /// supported on this machine).  The installed kernel is recorded in
+  /// stats() and in the OPTIMUS decision report.
+  std::string gemm_kernel = "auto";
 };
 
 /// A long-lived exact-MIPS serving engine over one (users, items) model.
@@ -160,7 +178,15 @@ class MipsEngine {
     int64_t decision_cache_hits = 0;
     int64_t decision_cache_misses = 0;
     int64_t decision_cache_evictions = 0;
+    /// Cached winners dropped because they outlived decision_ttl_seconds
+    /// (each one also counts as a miss for the query that found it
+    /// stale).
+    int64_t decision_cache_expirations = 0;
     int64_t decision_cache_size = 0;
+    /// The GEMM micro-kernel installed at snapshot time ("portable",
+    /// "avx2", "avx512") — the throughput regime every wall-clock
+    /// decision in this engine was measured under.
+    std::string gemm_kernel;
   };
   Stats stats() const;
 
@@ -169,8 +195,14 @@ class MipsEngine {
 
   /// Index into solvers_ of the strategy serving k (decides and caches
   /// on a miss).  Lock-free-ish hot path: shared lock on a cache hit,
-  /// exclusive lock (serializing the decision) on a miss.
+  /// exclusive lock (serializing the decision) on a miss or a
+  /// TTL-expired winner.
   StatusOr<std::size_t> StrategyForK(Index k);
+
+  struct CachedDecision;
+  /// Whether `entry` outlived decision_ttl_seconds (always false when
+  /// TTL is disabled or re-deciding is impossible).
+  bool DecisionExpired(const CachedDecision& entry) const;
 
   /// The pool serving this engine: the shared external pool when one was
   /// injected, else the engine-owned pool (null = single-threaded).
@@ -189,11 +221,15 @@ class MipsEngine {
 
   /// One cached per-k decision.  `last_used` is a recency stamp from
   /// decision_clock_, bumped with a relaxed store on every (shared-locked)
-  /// hit; eviction drops the smallest stamp.  Stored in a node-based map
-  /// so the atomic member never needs to move.
+  /// hit; eviction drops the smallest stamp.  `created` is the TTL
+  /// anchor: written once at insertion (under the exclusive lock, so it
+  /// is safely published to shared-lock readers).  Stored in a node-based
+  /// map so the atomic member never needs to move.
   struct CachedDecision {
-    explicit CachedDecision(std::size_t w) : winner(w) {}
+    CachedDecision(std::size_t w, std::chrono::steady_clock::time_point t)
+        : winner(w), created(t) {}
     std::size_t winner;
+    std::chrono::steady_clock::time_point created;
     mutable std::atomic<uint64_t> last_used{0};
   };
 
@@ -222,6 +258,7 @@ class MipsEngine {
     std::atomic<int64_t> decision_cache_hits{0};
     std::atomic<int64_t> decision_cache_misses{0};
     std::atomic<int64_t> decision_cache_evictions{0};
+    std::atomic<int64_t> decision_cache_expirations{0};
   };
   AtomicStats stats_;
 

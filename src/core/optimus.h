@@ -65,6 +65,12 @@ struct StrategyEstimate {
 /// Outcome of one OPTIMUS run.
 struct OptimusReport {
   std::string chosen;
+  /// The GEMM micro-kernel installed while the decision was measured
+  /// ("portable" / "avx2" / "avx512" — see linalg/simd_dispatch.h).
+  /// Every wall-clock estimate below was taken under this kernel's
+  /// throughput, so recording it keeps the decision attributable when
+  /// hardware regimes differ (e.g. emulated AVX-512).
+  std::string gemm_kernel;
   std::vector<StrategyEstimate> estimates;
   Index sample_size = 0;
   /// Serving the non-sample users with the winner.

@@ -4,20 +4,19 @@
 #include <cstring>
 #include <vector>
 
-#if defined(__AVX512F__) || defined(__AVX2__)
-#include <immintrin.h>
-#endif
-
 #include "common/thread_pool.h"
 #include "linalg/blas.h"
+#include "linalg/gemm_kernel.h"
 
 namespace mips {
 namespace {
 
-// Register tile: MR x NR accumulators = 64 doubles = 8 zmm (AVX-512) or
-// 16 ymm (AVX2) registers, leaving room for the A broadcasts and B loads.
-constexpr Index kMR = 4;
-constexpr Index kNR = 16;
+// Register tile (gemm_kernel.h): the full-tile micro-kernel is selected
+// at runtime by simd_dispatch.cc among AVX-512 / AVX2+FMA / portable
+// variants — all bit-for-bit identical per C element, so the dispatch
+// never affects results, only throughput.
+constexpr Index kMR = kGemmMR;
+constexpr Index kNR = kGemmNR;
 
 // Cache blocking.  KC covers every latent-factor count in the paper
 // (f <= 200) in a single K pass; MC*KC*8B ~= 256 KB targets L2.
@@ -60,129 +59,38 @@ void PackB(const Real* b, Index ldb, Index j0, Index nb, Index p0, Index kb,
   }
 }
 
-#if defined(__AVX512F__)
-
-// Full-tile 4x16 kernel: 8 zmm accumulators, one broadcast + two FMAs per
-// (k, row) step.  This is where BMM's "decades of hardware optimization"
-// constant factor comes from.
-void MicroKernelFull(const Real* __restrict ap, const Real* __restrict bp,
-                     Index kb, Real alpha, Real* __restrict c, Index ldc) {
-  __m512d acc00 = _mm512_setzero_pd(), acc01 = _mm512_setzero_pd();
-  __m512d acc10 = _mm512_setzero_pd(), acc11 = _mm512_setzero_pd();
-  __m512d acc20 = _mm512_setzero_pd(), acc21 = _mm512_setzero_pd();
-  __m512d acc30 = _mm512_setzero_pd(), acc31 = _mm512_setzero_pd();
-  for (Index kk = 0; kk < kb; ++kk) {
-    const __m512d b0 = _mm512_loadu_pd(bp + kk * kNR);
-    const __m512d b1 = _mm512_loadu_pd(bp + kk * kNR + 8);
-    const __m512d a0 = _mm512_set1_pd(ap[kk * kMR + 0]);
-    acc00 = _mm512_fmadd_pd(a0, b0, acc00);
-    acc01 = _mm512_fmadd_pd(a0, b1, acc01);
-    const __m512d a1 = _mm512_set1_pd(ap[kk * kMR + 1]);
-    acc10 = _mm512_fmadd_pd(a1, b0, acc10);
-    acc11 = _mm512_fmadd_pd(a1, b1, acc11);
-    const __m512d a2 = _mm512_set1_pd(ap[kk * kMR + 2]);
-    acc20 = _mm512_fmadd_pd(a2, b0, acc20);
-    acc21 = _mm512_fmadd_pd(a2, b1, acc21);
-    const __m512d a3 = _mm512_set1_pd(ap[kk * kMR + 3]);
-    acc30 = _mm512_fmadd_pd(a3, b0, acc30);
-    acc31 = _mm512_fmadd_pd(a3, b1, acc31);
-  }
-  const __m512d valpha = _mm512_set1_pd(alpha);
-  const auto update = [&](Real* crow, __m512d lo, __m512d hi) {
-    _mm512_storeu_pd(crow, _mm512_fmadd_pd(valpha, lo,
-                                           _mm512_loadu_pd(crow)));
-    _mm512_storeu_pd(crow + 8, _mm512_fmadd_pd(valpha, hi,
-                                               _mm512_loadu_pd(crow + 8)));
-  };
-  update(c + 0 * static_cast<std::size_t>(ldc), acc00, acc01);
-  update(c + 1 * static_cast<std::size_t>(ldc), acc10, acc11);
-  update(c + 2 * static_cast<std::size_t>(ldc), acc20, acc21);
-  update(c + 3 * static_cast<std::size_t>(ldc), acc30, acc31);
-}
-
-#elif defined(__AVX2__) && defined(__FMA__)
-
-// AVX2 variant of the 4x16 tile: 16 ymm accumulators.
-void MicroKernelFull(const Real* __restrict ap, const Real* __restrict bp,
-                     Index kb, Real alpha, Real* __restrict c, Index ldc) {
-  __m256d acc[kMR][4];
-  for (Index i = 0; i < kMR; ++i) {
-    for (int v = 0; v < 4; ++v) acc[i][v] = _mm256_setzero_pd();
-  }
-  for (Index kk = 0; kk < kb; ++kk) {
-    __m256d b[4];
-    for (int v = 0; v < 4; ++v) b[v] = _mm256_loadu_pd(bp + kk * kNR + 4 * v);
-    for (Index i = 0; i < kMR; ++i) {
-      const __m256d a = _mm256_set1_pd(ap[kk * kMR + i]);
-      for (int v = 0; v < 4; ++v) {
-        acc[i][v] = _mm256_fmadd_pd(a, b[v], acc[i][v]);
-      }
-    }
-  }
-  const __m256d valpha = _mm256_set1_pd(alpha);
-  for (Index i = 0; i < kMR; ++i) {
-    Real* crow = c + static_cast<std::size_t>(i) * ldc;
-    for (int v = 0; v < 4; ++v) {
-      _mm256_storeu_pd(crow + 4 * v,
-                       _mm256_fmadd_pd(valpha, acc[i][v],
-                                       _mm256_loadu_pd(crow + 4 * v)));
-    }
-  }
-}
-
-#else
-
-// Portable full-tile kernel; relies on the compiler to vectorize.
-void MicroKernelFull(const Real* __restrict ap, const Real* __restrict bp,
-                     Index kb, Real alpha, Real* __restrict c, Index ldc) {
-  Real acc[kMR][kNR] = {};
-  for (Index kk = 0; kk < kb; ++kk) {
-    const Real* __restrict brow = bp + kk * kNR;
-    const Real* __restrict arow = ap + kk * kMR;
-    for (Index i = 0; i < kMR; ++i) {
-      const Real aval = arow[i];
-      for (Index j = 0; j < kNR; ++j) {
-        acc[i][j] += aval * brow[j];
-      }
-    }
-  }
-  for (Index i = 0; i < kMR; ++i) {
-    Real* crow = c + static_cast<std::size_t>(i) * ldc;
-    for (Index j = 0; j < kNR; ++j) crow[j] += alpha * acc[i][j];
-  }
-}
-
-#endif
-
-// Edge-tile kernel (mr < MR or nr < NR): scalar accumulation over the
-// zero-padded packed panels, writing only the valid region.
-void MicroKernelEdge(const Real* __restrict ap, const Real* __restrict bp,
-                     Index kb, Real alpha, Real* __restrict c, Index ldc,
-                     Index mr, Index nr) {
-  Real acc[kMR][kNR] = {};
-  for (Index kk = 0; kk < kb; ++kk) {
-    const Real* __restrict brow = bp + kk * kNR;
-    const Real* __restrict arow = ap + kk * kMR;
-    for (Index i = 0; i < kMR; ++i) {
-      const Real aval = arow[i];
-      for (Index j = 0; j < kNR; ++j) {
-        acc[i][j] += aval * brow[j];
-      }
-    }
-  }
+// Edge tile (mr < MR or nr < NR): run the SAME full-tile kernel into a
+// scratch MR x NR tile seeded with the valid C region, then copy the
+// valid region back.  Every C element — full tile or edge — is therefore
+// produced by the identical fma sequence of the installed kernel, so a
+// score can never depend on which tile position an item happened to land
+// in (duplicate items tie bit-for-bit even when one sits in the edge
+// fringe), and swapping kernels still changes nothing (gemm_kernel.h).
+// The scratch copies touch at most 64 doubles; the packed panels are
+// already zero-padded, so the padding lanes compute garbage that is
+// simply not copied back.
+void MicroKernelEdge(GemmMicroKernelFn full, const Real* __restrict ap,
+                     const Real* __restrict bp, Index kb, Real alpha,
+                     Real* __restrict c, Index ldc, Index mr, Index nr) {
+  alignas(64) Real scratch[kMR * kNR] = {};
   for (Index i = 0; i < mr; ++i) {
-    Real* crow = c + static_cast<std::size_t>(i) * ldc;
-    for (Index j = 0; j < nr; ++j) crow[j] += alpha * acc[i][j];
+    std::memcpy(scratch + i * kNR, c + static_cast<std::size_t>(i) * ldc,
+                static_cast<std::size_t>(nr) * sizeof(Real));
+  }
+  full(ap, bp, kb, alpha, scratch, kNR);
+  for (Index i = 0; i < mr; ++i) {
+    std::memcpy(c + static_cast<std::size_t>(i) * ldc, scratch + i * kNR,
+                static_cast<std::size_t>(nr) * sizeof(Real));
   }
 }
 
-void MicroKernel(const Real* __restrict ap, const Real* __restrict bp,
-                 Index kb, Real alpha, Real* __restrict c, Index ldc,
-                 Index mr, Index nr) {
+void MicroKernel(GemmMicroKernelFn full, const Real* __restrict ap,
+                 const Real* __restrict bp, Index kb, Real alpha,
+                 Real* __restrict c, Index ldc, Index mr, Index nr) {
   if (mr == kMR && nr == kNR) {
-    MicroKernelFull(ap, bp, kb, alpha, c, ldc);
+    full(ap, bp, kb, alpha, c, ldc);
   } else {
-    MicroKernelEdge(ap, bp, kb, alpha, c, ldc, mr, nr);
+    MicroKernelEdge(full, ap, bp, kb, alpha, c, ldc, mr, nr);
   }
 }
 
@@ -204,6 +112,9 @@ void GemmNT(const Real* a, Index m, const Real* b, Index n, Index k,
     }
   }
   if (k <= 0 || alpha == 0) return;
+
+  // One dispatch load per call (first use runs the env/probe install).
+  const GemmMicroKernelFn full_tile = ActiveGemmMicroKernel();
 
   std::vector<Real> apack(static_cast<std::size_t>(kMC + kMR) * kKC);
   std::vector<Real> bpack(static_cast<std::size_t>(kNC + kNR) * kKC);
@@ -227,7 +138,7 @@ void GemmNT(const Real* a, Index m, const Real* b, Index n, Index k,
                 apack.data() + static_cast<std::size_t>(ip / kMR) * kb * kMR;
             Real* ctile = c + static_cast<std::size_t>(i0 + ip) * ldc +
                           (j0 + jp);
-            MicroKernel(ap, bp, kb, alpha, ctile, ldc, mr, nr);
+            MicroKernel(full_tile, ap, bp, kb, alpha, ctile, ldc, mr, nr);
           }
         }
       }

@@ -10,9 +10,16 @@
 // every S[u][i] is a row-row dot product).  GemmNT implements the BLIS/
 // OpenBLAS design: pack panels of both operands into contiguous buffers,
 // then drive a register-tiled micro-kernel (MR x NR accumulators) over the
-// packed data so the compiler emits FMA vector code with no strided loads.
-// This is what gives blocked matrix multiply its "decades of hardware
-// optimization" constant factor over naive loops (Section II-B).
+// packed data so FMA vector code runs with no strided loads.  This is what
+// gives blocked matrix multiply its "decades of hardware optimization"
+// constant factor over naive loops (Section II-B).
+//
+// The full-tile micro-kernel is selected AT RUNTIME among AVX-512,
+// AVX2+FMA, and portable variants (linalg/simd_dispatch.h): the binary
+// carries all three, and the first GEMM call installs the fastest
+// supported one (or whatever MIPS_GEMM_KERNEL / ForceGemmKernel asks
+// for).  All variants compute every C element with the identical IEEE
+// FMA sequence, so results are bit-for-bit independent of the choice.
 //
 // GemmNaiveNT (triple loop) and GemmDotNT (row-dot loop, i.e. repeated
 // sdot) are kept as reference points for the micro benchmarks that

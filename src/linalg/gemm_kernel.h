@@ -1,0 +1,68 @@
+// Internal contract between the blocked GEMM driver (gemm.cc), the SIMD
+// micro-kernel variants (gemm_kernel_{avx512,avx2,portable}.cc), and the
+// runtime dispatcher (simd_dispatch.cc).  Not part of the public API —
+// include linalg/simd_dispatch.h to choose or inspect kernels.
+//
+// One binary carries every variant: each variant lives in its own
+// translation unit compiled with exactly the ISA flags it needs
+// (-mavx512f / -mavx2 -mfma / none), so the build no longer bakes the
+// kernel choice in via __AVX512F__ preprocessor checks, and a CPU whose
+// AVX-512 is emulated or down-clocked can fall back to the AVX2 kernel at
+// runtime (see ROADMAP "Runtime SIMD dispatch").
+//
+// Bit-for-bit contract: all three variants compute every C element with
+// the SAME IEEE-754 operation sequence —
+//
+//     acc = 0;  for kk in [0, kb): acc = fma(a[i][kk], b[j][kk], acc);
+//     c[i][j] = fma(alpha, acc, c[i][j]);
+//
+// (hardware vfmadd in the AVX kernels, std::fma in the portable one; both
+// are single-rounding by IEEE 754-2008, and per-element chains are
+// independent so vector width is irrelevant).  Swapping kernels therefore
+// never changes a score: the per-kernel differential tests in
+// tests/linalg_test.cc assert exact equality, and the sharded==unsharded
+// and threaded==serial bit-for-bit guarantees hold under ANY installed
+// kernel — even if a kernel is re-installed between two calls.
+
+#ifndef MIPS_LINALG_GEMM_KERNEL_H_
+#define MIPS_LINALG_GEMM_KERNEL_H_
+
+#include "common/types.h"
+
+namespace mips {
+
+// Register tile: MR x NR accumulators = 64 doubles = 8 zmm (AVX-512) or
+// 16 ymm (AVX2) registers, leaving room for the A broadcasts and B loads.
+inline constexpr Index kGemmMR = 4;
+inline constexpr Index kGemmNR = 16;
+
+/// A full MR x NR register tile over packed panels: ap is kb x MR
+/// (column-of-rows layout from PackA), bp is kb x NR (PackB), and the
+/// result is accumulated into c (ldc-strided) as c += alpha * ap^T bp.
+using GemmMicroKernelFn = void (*)(const Real* ap, const Real* bp, Index kb,
+                                   Real alpha, Real* c, Index ldc);
+
+/// The three variants.  Every symbol exists in every binary; variants
+/// whose ISA the compiler cannot target (flag probe failed at configure
+/// time, non-x86 build) forward to the portable kernel and report
+/// compiled-in = false below, so the dispatcher never selects them.
+void GemmMicroKernelAvx512(const Real* ap, const Real* bp, Index kb,
+                           Real alpha, Real* c, Index ldc);
+void GemmMicroKernelAvx2(const Real* ap, const Real* bp, Index kb, Real alpha,
+                         Real* c, Index ldc);
+void GemmMicroKernelPortable(const Real* ap, const Real* bp, Index kb,
+                             Real alpha, Real* c, Index ldc);
+
+/// Whether the real intrinsics body (not the portable forward) was
+/// compiled into this binary.
+bool GemmAvx512KernelCompiled();
+bool GemmAvx2KernelCompiled();
+
+/// The installed micro-kernel (simd_dispatch.cc), running the env
+/// override / startup probe first if nothing is installed yet.  gemm.cc
+/// loads this once per GemmNT call.
+GemmMicroKernelFn ActiveGemmMicroKernel();
+
+}  // namespace mips
+
+#endif  // MIPS_LINALG_GEMM_KERNEL_H_

@@ -1,0 +1,241 @@
+#include "linalg/simd_dispatch.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "linalg/gemm_kernel.h"
+
+namespace mips {
+namespace {
+
+struct KernelTableEntry {
+  GemmKernel kernel;
+  const char* name;
+  GemmMicroKernelFn fn;
+};
+
+constexpr std::array<KernelTableEntry, kNumGemmKernels> kKernelTable = {{
+    {GemmKernel::kPortable, "portable", &GemmMicroKernelPortable},
+    {GemmKernel::kAvx2, "avx2", &GemmMicroKernelAvx2},
+    {GemmKernel::kAvx512, "avx512", &GemmMicroKernelAvx512},
+}};
+
+const KernelTableEntry& TableEntry(GemmKernel kernel) {
+  return kKernelTable[static_cast<std::size_t>(kernel)];
+}
+
+/// The installed kernel, published as an atomic function pointer (null =
+/// nothing installed yet; the next GEMM runs the env/probe path).  The
+/// id/source atomics are attribution only — a racing reader may observe
+/// them a step behind the pointer, but never an inconsistent result,
+/// because every variant is bit-for-bit identical (gemm_kernel.h).
+std::atomic<GemmMicroKernelFn> g_active_fn{nullptr};
+std::atomic<int> g_active_kernel{static_cast<int>(GemmKernel::kPortable)};
+std::atomic<int> g_active_source{static_cast<int>(GemmKernelSource::kProbe)};
+
+/// Serializes installs; also guards g_install_probe.
+std::mutex g_install_mu;
+GemmKernelProbe g_install_probe;
+
+bool CpuSupportsIsa(GemmKernel kernel) {
+#if defined(__x86_64__) || defined(__i386__)
+  // __builtin_cpu_supports accounts for OS AVX state support (XGETBV),
+  // not just the CPUID feature bit.
+  __builtin_cpu_init();
+  switch (kernel) {
+    case GemmKernel::kPortable:
+      return true;
+    case GemmKernel::kAvx2:
+      return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+    case GemmKernel::kAvx512:
+      return __builtin_cpu_supports("avx512f");
+  }
+  return false;
+#else
+  return kernel == GemmKernel::kPortable;
+#endif
+}
+
+/// Best-of-three packed-panel timing, mirroring the macro kernel's hot
+/// loop: full 4x16 tiles over a KC-deep panel, the exact workload the
+/// blocked GEMM spends its time in.
+double TimeKernelGflops(GemmMicroKernelFn fn) {
+  constexpr Index kb = 256;  // = kKC in gemm.cc: one full K panel
+  constexpr int kIters = 192;
+  constexpr int kReps = 3;
+  std::vector<Real> ap(static_cast<std::size_t>(kGemmMR) * kb);
+  std::vector<Real> bp(static_cast<std::size_t>(kGemmNR) * kb);
+  std::vector<Real> c(static_cast<std::size_t>(kGemmMR) * kGemmNR, 0);
+  // Deterministic small values (no RNG dependency, no subnormals).
+  uint64_t state = 0x9E3779B97F4A7C15ull;
+  const auto next = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return static_cast<Real>(state >> 11) *
+               (1.0 / 9007199254740992.0) - 0.5;
+  };
+  for (Real& v : ap) v = next();
+  for (Real& v : bp) v = next();
+
+  for (int warm = 0; warm < 8; ++warm) {
+    fn(ap.data(), bp.data(), kb, 1.0 / 1024, c.data(), kGemmNR);
+  }
+  double best_seconds = 1e300;
+  for (int rep = 0; rep < kReps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (int it = 0; it < kIters; ++it) {
+      // Tiny alpha keeps C bounded over thousands of accumulations.
+      fn(ap.data(), bp.data(), kb, 1.0 / 1024, c.data(), kGemmNR);
+    }
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    best_seconds = std::min(best_seconds, std::max(seconds, 1e-9));
+  }
+  const double flops =
+      2.0 * kGemmMR * kGemmNR * static_cast<double>(kb) * kIters;
+  return flops / best_seconds / 1e9;
+}
+
+/// Support flags without timings, for env/forced installs where the
+/// probe never ran.
+GemmKernelProbe SupportOnlyProbe(GemmKernel chosen) {
+  GemmKernelProbe probe;
+  for (const KernelTableEntry& entry : kKernelTable) {
+    auto& variant = probe.variants[static_cast<std::size_t>(entry.kernel)];
+    variant.kernel = entry.kernel;
+    variant.supported = GemmKernelSupported(entry.kernel);
+  }
+  probe.fastest = chosen;
+  return probe;
+}
+
+/// Caller holds g_install_mu.
+void InstallLocked(GemmKernel kernel, GemmKernelSource source,
+                   const GemmKernelProbe& probe) {
+  g_install_probe = probe;
+  g_active_source.store(static_cast<int>(source), std::memory_order_relaxed);
+  g_active_kernel.store(static_cast<int>(kernel), std::memory_order_relaxed);
+  g_active_fn.store(TableEntry(kernel).fn, std::memory_order_release);
+}
+
+GemmMicroKernelFn EnsureInstalled() {
+  GemmMicroKernelFn fn = g_active_fn.load(std::memory_order_acquire);
+  if (fn != nullptr) return fn;
+  std::lock_guard<std::mutex> lock(g_install_mu);
+  fn = g_active_fn.load(std::memory_order_relaxed);
+  if (fn != nullptr) return fn;
+
+  const char* env = std::getenv("MIPS_GEMM_KERNEL");
+  if (env != nullptr && env[0] != '\0' && std::strcmp(env, "auto") != 0) {
+    const auto parsed = ParseGemmKernel(env);
+    if (parsed.ok() && GemmKernelSupported(*parsed)) {
+      InstallLocked(*parsed, GemmKernelSource::kEnv, SupportOnlyProbe(*parsed));
+      return g_active_fn.load(std::memory_order_relaxed);
+    }
+    MIPS_LOG(Warning) << "MIPS_GEMM_KERNEL=" << env
+                       << (parsed.ok() ? " is not supported on this machine"
+                                       : " is not a known kernel")
+                       << "; falling back to the startup probe";
+  }
+
+  const GemmKernelProbe probe = ProbeGemmKernels();
+  InstallLocked(probe.fastest, GemmKernelSource::kProbe, probe);
+  return g_active_fn.load(std::memory_order_relaxed);
+}
+
+}  // namespace
+
+const char* ToString(GemmKernel kernel) { return TableEntry(kernel).name; }
+
+StatusOr<GemmKernel> ParseGemmKernel(std::string_view name) {
+  for (const KernelTableEntry& entry : kKernelTable) {
+    if (name == entry.name) return entry.kernel;
+  }
+  return Status::InvalidArgument(
+      "unknown GEMM kernel \"" + std::string(name) +
+      "\" (expected portable, avx2, or avx512)");
+}
+
+bool GemmKernelSupported(GemmKernel kernel) {
+  switch (kernel) {
+    case GemmKernel::kPortable:
+      return true;
+    case GemmKernel::kAvx2:
+      return GemmAvx2KernelCompiled() && CpuSupportsIsa(kernel);
+    case GemmKernel::kAvx512:
+      return GemmAvx512KernelCompiled() && CpuSupportsIsa(kernel);
+  }
+  return false;
+}
+
+GemmKernelProbe ProbeGemmKernels() {
+  GemmKernelProbe probe;
+  double best = -1;
+  for (const KernelTableEntry& entry : kKernelTable) {
+    auto& variant = probe.variants[static_cast<std::size_t>(entry.kernel)];
+    variant.kernel = entry.kernel;
+    variant.supported = GemmKernelSupported(entry.kernel);
+    if (!variant.supported) continue;
+    variant.gflops = TimeKernelGflops(entry.fn);
+    if (variant.gflops > best) {
+      best = variant.gflops;
+      probe.fastest = entry.kernel;
+    }
+  }
+  return probe;
+}
+
+GemmKernel ActiveGemmKernel() {
+  EnsureInstalled();
+  return static_cast<GemmKernel>(
+      g_active_kernel.load(std::memory_order_relaxed));
+}
+
+Status ForceGemmKernel(GemmKernel kernel) {
+  if (!GemmKernelSupported(kernel)) {
+    const bool compiled = kernel == GemmKernel::kPortable ||
+                          (kernel == GemmKernel::kAvx2
+                               ? GemmAvx2KernelCompiled()
+                               : GemmAvx512KernelCompiled());
+    return Status::FailedPrecondition(
+        std::string("GEMM kernel \"") + ToString(kernel) +
+        (compiled ? "\" is not supported by this CPU"
+                  : "\" was not compiled into this binary"));
+  }
+  std::lock_guard<std::mutex> lock(g_install_mu);
+  InstallLocked(kernel, GemmKernelSource::kForced, SupportOnlyProbe(kernel));
+  return Status::OK();
+}
+
+GemmKernelSource ActiveGemmKernelSource() {
+  EnsureInstalled();
+  return static_cast<GemmKernelSource>(
+      g_active_source.load(std::memory_order_relaxed));
+}
+
+GemmKernelProbe ActiveGemmKernelProbe() {
+  EnsureInstalled();
+  std::lock_guard<std::mutex> lock(g_install_mu);
+  return g_install_probe;
+}
+
+void ResetGemmKernelForTest() {
+  std::lock_guard<std::mutex> lock(g_install_mu);
+  g_install_probe = GemmKernelProbe();
+  g_active_source.store(static_cast<int>(GemmKernelSource::kProbe),
+                        std::memory_order_relaxed);
+  g_active_kernel.store(static_cast<int>(GemmKernel::kPortable),
+                        std::memory_order_relaxed);
+  g_active_fn.store(nullptr, std::memory_order_release);
+}
+
+GemmMicroKernelFn ActiveGemmMicroKernel() { return EnsureInstalled(); }
+
+}  // namespace mips

@@ -24,6 +24,7 @@
 #include "data/mf_trainer.h"      // IWYU pragma: export
 #include "data/synthetic.h"       // IWYU pragma: export
 #include "linalg/matrix.h"        // IWYU pragma: export
+#include "linalg/simd_dispatch.h" // IWYU pragma: export
 #include "shard/partition.h"      // IWYU pragma: export
 #include "shard/sharded_engine.h" // IWYU pragma: export
 #include "solvers/bmm.h"          // IWYU pragma: export

@@ -228,6 +228,9 @@ ShardedMipsEngine::Stats ShardedMipsEngine::stats() const {
     snapshot.decision_cache_hits += shard.stats.decision_cache_hits;
     snapshot.decision_cache_misses += shard.stats.decision_cache_misses;
     snapshot.decision_cache_evictions += shard.stats.decision_cache_evictions;
+    snapshot.decision_cache_expirations +=
+        shard.stats.decision_cache_expirations;
+    snapshot.gemm_kernel = shard.stats.gemm_kernel;  // process-global
   }
   return snapshot;
 }

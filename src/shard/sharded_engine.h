@@ -19,11 +19,12 @@
 // pruning bounds, row extraction, merge — uses the library-wide
 // BetterEntry tie order, so the merged result is bit-for-bit the
 // unsharded engine's answer, including which of several exactly tied
-// items is reported.  One caveat: solvers whose reported scores pass
-// through an item-set-dependent transform (FEXIPRO's SVD rotation)
-// score the same vector ulp-differently in different shards, so exact
-// cross-shard ties can resolve differently there; scores and exactness
-// are unaffected.
+// items is reported.  This holds for every solver family, FEXIPRO
+// included: solvers whose pruning runs in an item-set-dependent
+// transform space (FEXIPRO's SVD rotation) rescore survivors against
+// the original vectors before they enter the heap, so a shard's
+// rotation can never shift a reported score by an ulp and flip an exact
+// cross-shard tie.
 //
 // Threading: the sharded engine owns one pool shared by every shard
 // engine (EngineOptions::shared_pool) — shard candidate indexes build
@@ -146,6 +147,10 @@ class ShardedMipsEngine {
     int64_t decision_cache_hits = 0;
     int64_t decision_cache_misses = 0;
     int64_t decision_cache_evictions = 0;
+    int64_t decision_cache_expirations = 0;
+    /// The process-global GEMM micro-kernel every shard's GEMMs dispatch
+    /// to ("" when every shard is empty).
+    std::string gemm_kernel;
     std::vector<ShardSnapshot> shards;
   };
   Stats stats() const;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstring>
+#include <limits>
 #include <memory>
 #include <numeric>
 
@@ -138,17 +139,32 @@ Index FexiproSolver::QueryOneUser(const Real* user, Index k,
   uq.Quantize(int_source, int_dims_, s->quant_user.data());
   s->user_l1 = fexipro::L1Int16(s->quant_user.data(), int_dims_);
 
+  // The bounds are computed in SVD space but the heap holds
+  // ORIGINAL-space scores (see the Push below): the rotation preserves
+  // dots and norms only to O(f * eps) relative rounding error, so a
+  // mathematically valid SVD-space upper bound can land a hair below an
+  // item's original-space score.  Every bound is therefore inflated by a
+  // slack proportional to ||u'|| * ||i'|| (>= |score| by Cauchy-Schwarz,
+  // so it is the right scale) before it may prune.  The constant is
+  // generous — 64 * eps * f covers the rotation's O(f)-term rounding
+  // with an order of magnitude to spare — and costs nothing: it only
+  // ever makes pruning (never correctness) infinitesimally lazier.
+  const Real slack_rel = 64 * std::numeric_limits<Real>::epsilon() *
+                         static_cast<Real>(f);
   TopKHeap heap(k);
   Index exact = 0;
   for (Index pos = 0; pos < n; ++pos) {
     const Real min_h = heap.MinScore();
+    const Real slack =
+        slack_rel * norms_[static_cast<std::size_t>(pos)] * s->user_norm;
     // (1) Length bound: the scan order is norm-descending, so the first
     // failing item ends the entire query.  All bounds here prune
     // strictly (`< min_h`): a bound equal to the heap minimum can cover
     // a tied score, and the tied item must reach Push for the id
     // tie-break (topk_heap.h).
-    if (heap.full() && norms_[static_cast<std::size_t>(pos)] * s->user_norm <
-                           min_h) {
+    if (heap.full() &&
+        norms_[static_cast<std::size_t>(pos)] * s->user_norm + slack <
+            min_h) {
       break;
     }
     const Real* item = sorted_items_.Row(pos);
@@ -162,22 +178,28 @@ Index FexiproSolver::QueryOneUser(const Real* user, Index k,
         const Real int_bound = fexipro::QuantizedUpperBound(
             idot, s->user_l1, item_l1_[static_cast<std::size_t>(pos)],
             int_dims_, s->user_scale, item_quantizer_.scale);
-        if (int_bound < min_h) continue;
+        if (int_bound + slack < min_h) continue;
       }
       // (3) SVD partial product + Cauchy-Schwarz tail.
-      const Real head = Dot(su, item, h);
       if (options_.use_svd_bound) {
+        const Real head = Dot(su, item, h);
         const Real svd_bound =
             head + s->tail_norm * tail_norms_[static_cast<std::size_t>(pos)];
-        if (svd_bound < min_h) continue;
+        if (svd_bound + slack < min_h) continue;
       }
-      // (4) Exact score.
-      const Real score = head + Dot(su + h, item + h, f - h);
+      // (4) Exact score — over the ORIGINAL vectors, not the SVD images:
+      // the rotation is item-set-dependent and only ulp-preserves dots,
+      // so scoring in SVD space would let exact cross-shard ties diverge
+      // between sharded and unsharded runs (see the file comment in
+      // fexipro.h).  The original row is items_.Row(id): the sorted copy
+      // holds transformed vectors only.
+      const Index id = ids_[static_cast<std::size_t>(pos)];
       ++exact;
-      heap.Push(ids_[static_cast<std::size_t>(pos)], score);
+      heap.Push(id, Dot(user, items_.Row(id), f));
     } else {
+      const Index id = ids_[static_cast<std::size_t>(pos)];
       ++exact;
-      heap.Push(ids_[static_cast<std::size_t>(pos)], Dot(su, item, f));
+      heap.Push(id, Dot(user, items_.Row(id), f));
     }
   }
   heap.ExtractDescending(out_row);

@@ -13,6 +13,21 @@
 // batched across users: the paper attributes FEXIPRO's batch-setting
 // losses to its point-query design, and OPTIMUS exploits the non-batching
 // property for t-test early stopping.
+//
+// Reported scores are computed from the ORIGINAL (untransformed) user and
+// item vectors: the bound cascade runs in SVD space, but a survivor is
+// rescored against the raw rows before it enters the heap.  The SVD
+// rotation preserves inner products only up to ulps — and the rotation
+// itself depends on the item set — so heap scores taken in SVD space
+// would make the same item score differently under different partitions
+// of the catalog, breaking ShardedMipsEngine's bit-for-bit
+// sharded==unsharded guarantee on exact cross-shard ties.  Original-space
+// rescoring makes FEXIPRO's scores identical to BMM/LEMP/naive's for the
+// same (user, item) pair, ties included.  Because the bounds then live in
+// a different (rotated) space than the heap scores they prune against,
+// each bound is inflated by an O(f * eps * ||u|| * ||i||) slack before it
+// may prune — covering the rotation's rounding error so the cascade stays
+// a sound over-approximation of the original-space score.
 
 #ifndef MIPS_SOLVERS_FEXIPRO_FEXIPRO_H_
 #define MIPS_SOLVERS_FEXIPRO_FEXIPRO_H_

@@ -7,12 +7,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <map>
+#include <string>
+#include <vector>
 
 #include "common/rng.h"
 #include "core/maximus.h"
 #include "core/optimus.h"
 #include "core/registry.h"
 #include "core/serving.h"
+#include "linalg/simd_dispatch.h"
 #include "solvers/bmm.h"
 #include "test_util.h"
 
@@ -85,6 +89,77 @@ TEST_P(DifferentialTest, AllSolversAgreeOnRandomWorkload) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, DifferentialTest, ::testing::Range(1, 33));
+
+// Forcing each compiled-and-supported GEMM kernel must leave every
+// solver's top-k BIT-FOR-BIT unchanged — ids and scores — because all
+// kernel variants run the identical per-element fma sequence
+// (linalg/gemm_kernel.h).  This is the engine-level guarantee behind the
+// runtime dispatch: an operator (or the startup probe) can swap kernels
+// on a live fleet without a single score moving.
+/// TearDown (not a trailing statement) restores auto dispatch, so a
+/// failing ASSERT mid-test cannot leak a forced kernel into later suites.
+class DifferentialKernelTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ResetGemmKernelForTest(); }
+};
+
+TEST_F(DifferentialKernelTest, TopKBitForBitAcrossForcedKernels) {
+  std::vector<GemmKernel> kernels;
+  for (int v = 0; v < kNumGemmKernels; ++v) {
+    if (GemmKernelSupported(static_cast<GemmKernel>(v))) {
+      kernels.push_back(static_cast<GemmKernel>(v));
+    }
+  }
+  // LEMP's adaptive mode picks per-bucket algorithms by wall-clock
+  // calibration, and its (all exact) algorithms accumulate the same dot
+  // in different orders — nondeterminism that has nothing to do with the
+  // GEMM kernel, so it is pinned to one algorithm (INCR) here.
+  std::vector<std::string> specs;
+  for (const std::string& name : AvailableSolvers()) {
+    specs.push_back(name == "lemp" ? "lemp:forced_algorithm=2" : name);
+  }
+  for (int seed = 200; seed < 206; ++seed) {
+    const RandomWorkload workload = DrawWorkload(static_cast<uint64_t>(seed));
+    const MFModel& model = workload.model;
+    SCOPED_TRACE(::testing::Message() << "seed=" << seed);
+    // Reference under the portable kernel, per solver family.
+    std::map<std::string, TopKResult> expected;
+    ASSERT_TRUE(ForceGemmKernel(GemmKernel::kPortable).ok());
+    for (const std::string& name : specs) {
+      auto solver = CreateSolver(name);
+      ASSERT_TRUE(solver.ok());
+      ASSERT_TRUE((*solver)->Prepare(ConstRowBlock(model.users),
+                                     ConstRowBlock(model.items)).ok());
+      ASSERT_TRUE((*solver)->TopKAll(workload.k, &expected[name]).ok());
+    }
+    for (const GemmKernel kernel : kernels) {
+      ASSERT_TRUE(ForceGemmKernel(kernel).ok());
+      for (const std::string& name : specs) {
+        auto solver = CreateSolver(name);
+        ASSERT_TRUE(solver.ok());
+        ASSERT_TRUE((*solver)->Prepare(ConstRowBlock(model.users),
+                                       ConstRowBlock(model.items)).ok());
+        TopKResult got;
+        ASSERT_TRUE((*solver)->TopKAll(workload.k, &got).ok());
+        const TopKResult& want = expected[name];
+        ASSERT_EQ(got.num_queries(), want.num_queries());
+        for (Index q = 0; q < got.num_queries(); ++q) {
+          for (Index e = 0; e < got.k(); ++e) {
+            ASSERT_EQ(got.Row(q)[e].item, want.Row(q)[e].item)
+                << name << " under " << ToString(kernel) << " row " << q
+                << " entry " << e;
+            const Real gs = got.Row(q)[e].score;
+            const Real ws = want.Row(q)[e].score;
+            // Exact equality (NaN-free fixtures; padding sentinels are
+            // -inf and compare equal to themselves).
+            ASSERT_EQ(gs, ws) << name << " under " << ToString(kernel)
+                              << " row " << q << " entry " << e;
+          }
+        }
+      }
+    }
+  }
+}
 
 TEST(DifferentialOptimusTest, OptimusExactOnRandomWorkloads) {
   for (int seed = 100; seed < 108; ++seed) {

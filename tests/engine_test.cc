@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <map>
 #include <thread>
@@ -14,6 +15,7 @@
 #include "core/maximus.h"
 #include "core/optimus.h"
 #include "linalg/blas.h"
+#include "linalg/simd_dispatch.h"
 #include "solvers/bmm.h"
 #include "test_util.h"
 #include "topk/topk_heap.h"
@@ -332,6 +334,126 @@ TEST(EngineTest, DecisionCacheCountsHitsAndMisses) {
   ASSERT_TRUE((*engine)->TopK(7, batch, &out).ok());
   EXPECT_EQ((*engine)->stats().decision_cache_misses, 1);
   EXPECT_EQ((*engine)->stats().decision_cache_hits, 3);
+}
+
+TEST(EngineTest, DecisionTtlExpiresCachedWinners) {
+  // Every cached winner (the pinned opening k included) goes stale
+  // between the sleep-separated queries, so the query after the sleep
+  // re-runs the sampling decision and counts an expiration.  Sleeping
+  // strictly longer than the TTL guarantees staleness; the TTL itself is
+  // generous (250 ms) so the pre-sleep queries — including Open's own
+  // decision and the first TopK — comfortably fit inside it even on a
+  // loaded machine (the only soft timing assumption this test makes).
+  const MFModel model = MakeTestModel(120, 60, 6, 29);
+  EngineOptions options = SmallEngineOptions(5);
+  options.solvers = {"bmm", "naive"};
+  options.decision_ttl_seconds = 0.25;
+  auto engine = MipsEngine::Open(ConstRowBlock(model.users),
+                                 ConstRowBlock(model.items), options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  TopKResult out;
+  const std::vector<Index> batch = {0, 1};
+  // Well inside the TTL the opening decision serves as a plain hit.
+  ASSERT_TRUE((*engine)->TopK(5, batch, &out).ok());
+  MipsEngine::Stats stats = (*engine)->stats();
+  EXPECT_EQ(stats.decision_cache_expirations, 0);
+  EXPECT_EQ(stats.redecisions, 0);
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  ASSERT_TRUE((*engine)->TopK(5, batch, &out).ok());
+  stats = (*engine)->stats();
+  EXPECT_EQ(stats.decision_cache_expirations, 1);
+  EXPECT_EQ(stats.redecisions, 1);
+  EXPECT_EQ(stats.decision_cache_size, 1);  // refreshed in place
+
+  // The refreshed winner is fresh again: an immediate re-query hits.
+  const int64_t hits_before = stats.decision_cache_hits;
+  ASSERT_TRUE((*engine)->TopK(5, batch, &out).ok());
+  stats = (*engine)->stats();
+  EXPECT_EQ(stats.decision_cache_expirations, 1);
+  EXPECT_EQ(stats.decision_cache_hits, hits_before + 1);
+
+  // Results stay exact across expirations.
+  BmmSolver reference;
+  ASSERT_TRUE(reference.Prepare(ConstRowBlock(model.users),
+                                ConstRowBlock(model.items)).ok());
+  TopKResult expected;
+  ASSERT_TRUE(reference.TopKForUsers(5, batch, &expected).ok());
+  ExpectSameTopKScores(out, expected, 1e-9);
+}
+
+TEST(EngineTest, DecisionTtlIgnoredWhenRedecideImpossible) {
+  // With re-deciding disabled (or a single candidate) there is nothing
+  // to refresh a stale winner with, so the TTL must be inert: no
+  // expirations, no redecisions, the opening winner serves forever.
+  const MFModel model = MakeTestModel(100, 50, 6, 31);
+  for (const bool single_candidate : {false, true}) {
+    EngineOptions options = SmallEngineOptions(5);
+    options.decision_ttl_seconds = 0.005;
+    if (single_candidate) {
+      options.solvers = {"bmm"};
+    } else {
+      options.solvers = {"bmm", "naive"};
+      options.redecide_on_new_k = false;
+    }
+    auto engine = MipsEngine::Open(ConstRowBlock(model.users),
+                                   ConstRowBlock(model.items), options);
+    ASSERT_TRUE(engine.ok());
+    TopKResult out;
+    const std::vector<Index> batch = {0, 1};
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_TRUE((*engine)->TopK(5, batch, &out).ok());
+    const MipsEngine::Stats stats = (*engine)->stats();
+    EXPECT_EQ(stats.decision_cache_expirations, 0);
+    EXPECT_EQ(stats.redecisions, 0);
+  }
+}
+
+TEST(EngineOpenTest, ValidatesTtlAndKernelOptions) {
+  const MFModel model = MakeTestModel(60, 40, 6, 33);
+  const ConstRowBlock users(model.users);
+  const ConstRowBlock items(model.items);
+
+  EngineOptions bad_ttl = SmallEngineOptions();
+  bad_ttl.decision_ttl_seconds = -1;
+  EXPECT_FALSE(MipsEngine::Open(users, items, bad_ttl).ok());
+
+  EngineOptions bad_kernel = SmallEngineOptions();
+  bad_kernel.gemm_kernel = "avx1024";
+  EXPECT_FALSE(MipsEngine::Open(users, items, bad_kernel).ok());
+}
+
+TEST(EngineTest, GemmKernelSurfacedInStatsAndReport) {
+  const MFModel model = MakeTestModel(100, 50, 6, 35);
+  const ConstRowBlock users(model.users);
+  const ConstRowBlock items(model.items);
+
+  // Forced via EngineOptions: installed process-wide, recorded in both
+  // the stats snapshot and the opening decision report.
+  EngineOptions options = SmallEngineOptions();
+  options.gemm_kernel = "portable";
+  auto engine = MipsEngine::Open(users, items, options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ((*engine)->stats().gemm_kernel, "portable");
+  EXPECT_EQ((*engine)->decision_report().gemm_kernel, "portable");
+  EXPECT_EQ(ActiveGemmKernel(), GemmKernel::kPortable);
+
+  // Single-candidate engines skip the decision but still attribute it.
+  EngineOptions single = SmallEngineOptions();
+  single.solvers = {"bmm"};
+  single.gemm_kernel = "portable";
+  auto single_engine = MipsEngine::Open(users, items, single);
+  ASSERT_TRUE(single_engine.ok());
+  EXPECT_EQ((*single_engine)->decision_report().gemm_kernel, "portable");
+
+  // "auto" records whatever the process-wide dispatch resolved to.
+  ResetGemmKernelForTest();
+  auto auto_engine = MipsEngine::Open(users, items, SmallEngineOptions());
+  ASSERT_TRUE(auto_engine.ok());
+  EXPECT_EQ((*auto_engine)->stats().gemm_kernel,
+            ToString(ActiveGemmKernel()));
+  ResetGemmKernelForTest();
 }
 
 TEST(EngineTest, DecisionCacheEvictsLeastRecentlyUsedK) {

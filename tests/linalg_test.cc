@@ -1,16 +1,20 @@
 // Unit and property tests for src/linalg: Matrix, level-1 kernels, the
-// blocked GEMM (vs. the naive reference across a shape sweep), and the
-// Jacobi symmetric eigen-decomposition.
+// blocked GEMM (vs. the naive reference across a shape sweep), the
+// runtime SIMD dispatch layer (per-kernel differential suites, forced
+// overrides, the probe), and the Jacobi symmetric eigen-decomposition.
 
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <tuple>
+#include <vector>
 
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "linalg/blas.h"
 #include "linalg/gemm.h"
+#include "linalg/simd_dispatch.h"
 #include "linalg/matrix.h"
 #include "linalg/sym_eigen.h"
 #include "test_util.h"
@@ -351,6 +355,188 @@ TEST(GemmTest, GemmDotMatchesReference) {
   GemmNaiveNT(a.data(), 13, b.data(), 17, 21, 1.0, 0.0, ref.data(), 17);
   for (std::size_t i = 0; i < c.size(); ++i) {
     EXPECT_NEAR(c.data()[i], ref.data()[i], 1e-9);
+  }
+}
+
+// ------------------------------------------------- runtime SIMD dispatch
+
+std::vector<GemmKernel> SupportedKernels() {
+  std::vector<GemmKernel> kernels;
+  for (int v = 0; v < kNumGemmKernels; ++v) {
+    const GemmKernel kernel = static_cast<GemmKernel>(v);
+    if (GemmKernelSupported(kernel)) kernels.push_back(kernel);
+  }
+  return kernels;
+}
+
+/// Restores auto dispatch after every forced-kernel test, so suites that
+/// run later are not pinned to whatever kernel a test left installed.
+class GemmKernelTest : public ::testing::Test {
+ protected:
+  void TearDown() override { ResetGemmKernelForTest(); }
+};
+
+TEST_F(GemmKernelTest, ParseAndNames) {
+  EXPECT_STREQ(ToString(GemmKernel::kPortable), "portable");
+  EXPECT_STREQ(ToString(GemmKernel::kAvx2), "avx2");
+  EXPECT_STREQ(ToString(GemmKernel::kAvx512), "avx512");
+  for (int v = 0; v < kNumGemmKernels; ++v) {
+    const GemmKernel kernel = static_cast<GemmKernel>(v);
+    auto parsed = ParseGemmKernel(ToString(kernel));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, kernel);
+  }
+  EXPECT_FALSE(ParseGemmKernel("sse9").ok());
+  EXPECT_FALSE(ParseGemmKernel("").ok());
+  EXPECT_FALSE(ParseGemmKernel("AVX2").ok());  // names are lowercase
+}
+
+TEST_F(GemmKernelTest, PortableAlwaysSupportedAndInstallable) {
+  EXPECT_TRUE(GemmKernelSupported(GemmKernel::kPortable));
+  ASSERT_TRUE(ForceGemmKernel(GemmKernel::kPortable).ok());
+  EXPECT_EQ(ActiveGemmKernel(), GemmKernel::kPortable);
+  EXPECT_EQ(ActiveGemmKernelSource(), GemmKernelSource::kForced);
+}
+
+TEST_F(GemmKernelTest, ForcedOverrideInstallsEverySupportedKernel) {
+  for (int v = 0; v < kNumGemmKernels; ++v) {
+    const GemmKernel kernel = static_cast<GemmKernel>(v);
+    if (GemmKernelSupported(kernel)) {
+      ASSERT_TRUE(ForceGemmKernel(kernel).ok()) << ToString(kernel);
+      EXPECT_EQ(ActiveGemmKernel(), kernel);
+      EXPECT_EQ(ActiveGemmKernelSource(), GemmKernelSource::kForced);
+    } else {
+      // Unsupported variants must be refused, not silently downgraded.
+      const Status status = ForceGemmKernel(kernel);
+      EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition)
+          << ToString(kernel);
+    }
+  }
+}
+
+TEST_F(GemmKernelTest, ProbeMeasuresEverySupportedVariant) {
+  const GemmKernelProbe probe = ProbeGemmKernels();
+  bool fastest_seen = false;
+  for (int v = 0; v < kNumGemmKernels; ++v) {
+    const auto& variant = probe.variants[static_cast<std::size_t>(v)];
+    EXPECT_EQ(variant.kernel, static_cast<GemmKernel>(v));
+    EXPECT_EQ(variant.supported,
+              GemmKernelSupported(static_cast<GemmKernel>(v)));
+    if (variant.supported) {
+      EXPECT_GT(variant.gflops, 0.0) << ToString(variant.kernel);
+    } else {
+      EXPECT_EQ(variant.gflops, 0.0) << ToString(variant.kernel);
+    }
+    if (variant.kernel == probe.fastest) fastest_seen = variant.supported;
+  }
+  EXPECT_TRUE(fastest_seen) << "probe picked an unsupported kernel";
+}
+
+TEST_F(GemmKernelTest, EnvOverrideInstallsRequestedKernel) {
+  // The env override is read at install time, so resetting the dispatch
+  // makes it testable in-process.  Forced installs must still win over
+  // the env value.
+  ResetGemmKernelForTest();
+  ASSERT_EQ(setenv("MIPS_GEMM_KERNEL", "portable", /*overwrite=*/1), 0);
+  EXPECT_EQ(ActiveGemmKernel(), GemmKernel::kPortable);
+  EXPECT_EQ(ActiveGemmKernelSource(), GemmKernelSource::kEnv);
+
+  ResetGemmKernelForTest();
+  ASSERT_EQ(setenv("MIPS_GEMM_KERNEL", "not-a-kernel", 1), 0);
+  const GemmKernel probed = ActiveGemmKernel();  // warns, falls back
+  EXPECT_TRUE(GemmKernelSupported(probed));
+  EXPECT_EQ(ActiveGemmKernelSource(), GemmKernelSource::kProbe);
+
+  ASSERT_EQ(setenv("MIPS_GEMM_KERNEL", "portable", 1), 0);
+  const auto kernels = SupportedKernels();
+  ASSERT_TRUE(ForceGemmKernel(kernels.back()).ok());
+  EXPECT_EQ(ActiveGemmKernel(), kernels.back());
+  ASSERT_EQ(unsetenv("MIPS_GEMM_KERNEL"), 0);
+}
+
+// Every compiled-and-supported variant must produce BIT-FOR-BIT the
+// portable kernel's results — not merely close ones.  All variants run
+// the identical per-element IEEE fma sequence (gemm_kernel.h), so the
+// differential is exact across NT / NN / threaded paths and edge tiles
+// (m, n not multiples of MR=4 / NR=16, where the scratch-tile edge path
+// must also ride the installed kernel).
+TEST_F(GemmKernelTest, VariantsMatchPortableBitForBitNT) {
+  const auto shapes = std::vector<std::tuple<int, int, int>>{
+      {1, 1, 1},      {5, 17, 8},    {3, 15, 7},     {4, 16, 8},
+      {129, 131, 70}, {64, 64, 64},  {100, 500, 50}, {2, 300, 257},
+      {37, 211, 10},  {70, 130, 31},
+  };
+  for (const auto& [m, n, k] : shapes) {
+    const Matrix a = RandomMatrix(m, k, 400 + m);
+    const Matrix b = RandomMatrix(n, k, 500 + n);
+    ASSERT_TRUE(ForceGemmKernel(GemmKernel::kPortable).ok());
+    Matrix want(m, n);
+    GemmNT(a.data(), m, b.data(), n, k, 1.25, 0.0, want.data(), n);
+    for (const GemmKernel kernel : SupportedKernels()) {
+      if (kernel == GemmKernel::kPortable) continue;
+      ASSERT_TRUE(ForceGemmKernel(kernel).ok());
+      Matrix got(m, n);
+      GemmNT(a.data(), m, b.data(), n, k, 1.25, 0.0, got.data(), n);
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        ASSERT_EQ(got.data()[i], want.data()[i])
+            << ToString(kernel) << " element " << i << " shape " << m << "x"
+            << n << "x" << k;
+      }
+    }
+  }
+}
+
+TEST_F(GemmKernelTest, VariantsMatchPortableBitForBitNNAndThreaded) {
+  ThreadPool pool(3);
+  const auto shapes = std::vector<std::tuple<int, int, int>>{
+      {5, 6, 4}, {129, 131, 70}, {3, 2000, 64}, {500, 7, 33}};
+  for (const auto& [m, n, k] : shapes) {
+    const Matrix a = RandomMatrix(m, k, 600 + m);
+    const Matrix bt = RandomMatrix(n, k, 700 + n);  // NT operand
+    const Matrix b = bt.Transposed();               // NN operand (k x n)
+    ASSERT_TRUE(ForceGemmKernel(GemmKernel::kPortable).ok());
+    Matrix want_nn(m, n);
+    GemmNN(a.data(), m, b.data(), n, k, 1.0, 0.0, want_nn.data(), n);
+    Matrix want_threaded(m, n);
+    GemmNT(a.data(), m, bt.data(), n, k, 1.0, 0.0, want_threaded.data(), n,
+           &pool);
+    for (const GemmKernel kernel : SupportedKernels()) {
+      if (kernel == GemmKernel::kPortable) continue;
+      ASSERT_TRUE(ForceGemmKernel(kernel).ok());
+      Matrix got_nn(m, n);
+      GemmNN(a.data(), m, b.data(), n, k, 1.0, 0.0, got_nn.data(), n);
+      Matrix got_threaded(m, n);
+      GemmNT(a.data(), m, bt.data(), n, k, 1.0, 0.0, got_threaded.data(), n,
+             &pool);
+      for (std::size_t i = 0; i < want_nn.size(); ++i) {
+        ASSERT_EQ(got_nn.data()[i], want_nn.data()[i])
+            << "NN " << ToString(kernel) << " element " << i;
+        ASSERT_EQ(got_threaded.data()[i], want_threaded.data()[i])
+            << "threaded " << ToString(kernel) << " element " << i;
+      }
+    }
+  }
+}
+
+// Full tiles and edge tiles must agree: a duplicated row landing at a
+// tile-interior column and at the ragged fringe must receive identical
+// scores (this is what keeps duplicate items exactly tied under any
+// sharding — see sharded_test).
+TEST_F(GemmKernelTest, EdgeTileMatchesFullTilePerElement) {
+  const Index m = 4;
+  const Index k = 50;
+  const Index n = 19;  // columns 16..18 are the edge fringe
+  const Matrix a = RandomMatrix(m, k, 901);
+  Matrix b = RandomMatrix(n, k, 902);
+  // Column 18 (edge) duplicates column 2 (full tile).
+  for (Index kk = 0; kk < k; ++kk) b(18, kk) = b(2, kk);
+  for (const GemmKernel kernel : SupportedKernels()) {
+    ASSERT_TRUE(ForceGemmKernel(kernel).ok());
+    Matrix c(m, n);
+    GemmNT(a.data(), m, b.data(), n, k, 1.0, 0.0, c.data(), n);
+    for (Index r = 0; r < m; ++r) {
+      ASSERT_EQ(c(r, 18), c(r, 2)) << ToString(kernel) << " row " << r;
+    }
   }
 }
 

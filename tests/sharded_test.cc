@@ -168,6 +168,7 @@ TEST_P(ShardedExactness, MatchesUnshardedAcrossSpecsAndK) {
       {"bmm"},
       {"lemp"},
       {"maximus:clusters=4"},
+      {"fexipro-si"},
       {"bmm", "maximus", "lemp"},
   };
   for (const auto& specs : candidate_sets) {
@@ -213,13 +214,12 @@ TEST(ShardedEngineTest, TiedScoresMergeDeterministicallyAcrossShards) {
   // Exact duplicate item vectors spread across shards produce exactly
   // tied scores at the top of every row.  The library-wide tie order
   // (lower id wins; heap Push, strict pruning bounds, k-way merge) must
-  // make every raw-vector solver family — batching, point-query with
-  // norm pruning, clustered index — report the same ids sharded and
-  // unsharded, with the lowest duplicate ids first.  FEXIPRO is the
-  // deliberate exception and stays out of this test: its reported
-  // scores pass through an item-set-dependent SVD rotation, so the same
-  // duplicate scores ulp-differently in different shards and an exact
-  // cross-shard tie stops being a tie (see sharded_engine.h).
+  // make every solver family — batching, point-query with norm pruning,
+  // clustered index, and the SVD-transform cascade — report the same
+  // ids sharded and unsharded, with the lowest duplicate ids first.
+  // FEXIPRO participates since its original-space rescoring (fexipro.h):
+  // the per-shard SVD rotation steers only its pruning, never the
+  // reported score, so exact cross-shard ties stay exact ties.
   MFModel model = MakeTestModel(80, 60, 8, 61, /*norm_sigma=*/0.3,
                                 /*dispersion=*/0.5, /*non_negative=*/true);
   // A dominant non-negative vector duplicated into all three contiguous
@@ -236,7 +236,8 @@ TEST(ShardedEngineTest, TiedScoresMergeDeterministicallyAcrossShards) {
   const ConstRowBlock users(model.users);
   const ConstRowBlock items(model.items);
 
-  for (const char* spec : {"bmm", "naive", "lemp", "maximus:clusters=4"}) {
+  for (const char* spec : {"bmm", "naive", "lemp", "maximus:clusters=4",
+                           "fexipro-si", "fexipro-sir"}) {
     ShardedEngineOptions options = SmallShardedOptions(3);
     options.engine.solvers = {spec};
     auto sharded = ShardedMipsEngine::Open(users, items, options);
@@ -258,6 +259,46 @@ TEST(ShardedEngineTest, TiedScoresMergeDeterministicallyAcrossShards) {
         for (Index e = 0; e < k; ++e) {
           EXPECT_EQ(got.Row(q)[e].item, want.Row(q)[e].item)
               << spec << " row " << q << " entry " << e;
+        }
+      }
+    }
+  }
+}
+
+TEST(ShardedEngineTest, FexiproMatchesUnshardedBitForBit) {
+  // The PR 3 carve-out, retired: FEXIPRO's reported scores used to pass
+  // through the per-shard SVD rotation, so the same item could score
+  // ulp-differently in different shards.  With original-space rescoring
+  // (fexipro.h) the reported score for a (user, item) pair is one Dot
+  // over the raw rows — identical whichever shard the item landed in —
+  // so sharded results must now match the unsharded engine EXACTLY,
+  // scores included, for both FEXIPRO variants and both placements.
+  const MFModel model = MakeTestModel(120, 180, 8, 67, /*norm_sigma=*/0.8);
+  const ConstRowBlock users(model.users);
+  const ConstRowBlock items(model.items);
+  for (const char* spec : {"fexipro-si", "fexipro-sir"}) {
+    for (const ShardingStrategy sharding :
+         {ShardingStrategy::kContiguous, ShardingStrategy::kHash}) {
+      ShardedEngineOptions options = SmallShardedOptions(3, 5, sharding);
+      options.engine.solvers = {spec};
+      auto sharded = ShardedMipsEngine::Open(users, items, options);
+      ASSERT_TRUE(sharded.ok()) << spec << ": " << sharded.status().ToString();
+      auto unsharded = MipsEngine::Open(users, items, options.engine);
+      ASSERT_TRUE(unsharded.ok()) << spec;
+      for (const Index k : {1, 5, 9}) {
+        TopKResult got;
+        TopKResult want;
+        ASSERT_TRUE((*sharded)->TopKAll(k, &got).ok()) << spec;
+        ASSERT_TRUE((*unsharded)->TopKAll(k, &want).ok()) << spec;
+        ASSERT_EQ(got.num_queries(), want.num_queries());
+        for (Index q = 0; q < got.num_queries(); ++q) {
+          for (Index e = 0; e < k; ++e) {
+            ASSERT_EQ(got.Row(q)[e].item, want.Row(q)[e].item)
+                << spec << " row " << q << " entry " << e;
+            // Bit-for-bit: exact double equality, no tolerance.
+            ASSERT_EQ(got.Row(q)[e].score, want.Row(q)[e].score)
+                << spec << " row " << q << " entry " << e;
+          }
         }
       }
     }
@@ -426,14 +467,20 @@ TEST(ShardedDecisionTest, NormSkewedShardsChooseDifferentWinners) {
   // clustering overhead on top of BMM's cost), tiny visited prefix under
   // heavy skew — rather than by this machine's GEMM throughput (the
   // AVX-512 degradation that made absolute index-vs-BMM winner
-  // assertions unsound; see optimus_test).  Decisions are still
-  // wall-clock measurements over a few dozen sampled users, so the
+  // assertions unsound; see optimus_test).  The shard size is chosen for
+  // the runtime-dispatched kernels: at 27+ GFLOP/s a 2000-item shard
+  // costs BMM single-digit microseconds per user and per-query fixed
+  // overheads decide the race instead of the regime, so each half
+  // carries 8000 items x 48 factors — big enough that scanning
+  // everything (BMM on the skewed half) is decisively more arithmetic
+  // than MAXIMUS's tiny visited prefix on ANY kernel.  Decisions are
+  // still wall-clock measurements over a few dozen sampled users, so the
   // suite's usual three-attempt idiom absorbs scheduler preemptions.
   std::string flat_choice;
   std::string skew_choice;
   for (uint64_t attempt = 0; attempt < 3; ++attempt) {
     const MFModel model =
-        MakeSplitNormModel(400, 2000, 24, /*seed=*/41 + 10 * attempt);
+        MakeSplitNormModel(400, 8000, 48, /*seed=*/41 + 10 * attempt);
     const ConstRowBlock users(model.users);
     const ConstRowBlock items(model.items);
     ShardedEngineOptions options = SmallShardedOptions(2, 10);
