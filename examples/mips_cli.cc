@@ -20,8 +20,11 @@
 // registered solver with its schema; malformed specs fail with an error
 // naming the offending key.
 
+#include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/flags.h"
@@ -29,6 +32,7 @@
 #include "core/engine.h"
 #include "data/datasets.h"
 #include "data/io.h"
+#include "serve/batching_engine.h"
 #include "shard/sharded_engine.h"
 #include "solvers/registry.h"
 
@@ -56,6 +60,51 @@ Status WriteTopKCsv(const TopKResult& result, const std::string& path) {
   }
   return std::fclose(f) == 0 ? Status::OK()
                              : Status::IOError("close failed: " + path);
+}
+
+// Replays every loaded user row as a concurrent single-user request
+// through the batching tier: `clients` threads each submit synchronous
+// TopKNewUser calls, which the BatchingEngine coalesces into
+// mini-batches behind their backs.  Answers land in result row q for
+// user q, same layout TopKAll produces.
+void ServeViaBatching(BatchingEngine* batcher, Matrix* users, Index k,
+                      int clients, TopKResult* result) {
+  const Index n = users->rows();
+  *result = TopKResult(n, k);
+  std::atomic<Index> next{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < clients; ++t) {
+    workers.emplace_back([&]() {
+      while (true) {
+        const Index q = next.fetch_add(1, std::memory_order_relaxed);
+        if (q >= n) break;
+        batcher->TopKNewUser(users->Row(q), k, result->Row(q)).CheckOK();
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+}
+
+void PrintBatchingStats(const BatchingEngine& batcher) {
+  const BatchingEngine::Stats s = batcher.stats();
+  const double mean_rows =
+      s.batches_dispatched > 0
+          ? static_cast<double>(s.served) /
+                static_cast<double>(s.batches_dispatched)
+          : 0;
+  const double mean_wait_us =
+      s.served > 0 ? s.queue_wait_seconds / static_cast<double>(s.served) * 1e6
+                   : 0;
+  std::printf(
+      "batching: %lld served in %lld batches (%.1f rows/batch mean); "
+      "flushes: %lld size, %lld timeout, %lld forced; "
+      "mean queue wait %.0f us; backend time %.3f s\n",
+      static_cast<long long>(s.served),
+      static_cast<long long>(s.batches_dispatched), mean_rows,
+      static_cast<long long>(s.size_flushes),
+      static_cast<long long>(s.timeout_flushes),
+      static_cast<long long>(s.forced_flushes), mean_wait_us,
+      s.backend_seconds);
 }
 
 // Splits the --candidates list on ';' (specs contain ',' internally).
@@ -90,6 +139,11 @@ int main(int argc, char** argv) {
   std::string shard_strategy = "contiguous";
   bool list_solvers = false;
   double demo_scale = 1.0;
+  bool batching = false;
+  int32_t batch_rows = 64;
+  double batch_wait_ms = 2.0;
+  std::string batch_policy = "block";
+  int32_t batch_clients = 4;
   flags.String("users", &users_path, "user factor matrix (.bin or .csv)");
   flags.String("items", &items_path, "item factor matrix (.bin or .csv)");
   flags.String("out", &out_path, "output CSV path");
@@ -107,6 +161,18 @@ int main(int argc, char** argv) {
                "item placement for --shards>1: contiguous or hash");
   flags.Bool("list_solvers", &list_solvers,
              "print every registered solver with its parameter schema");
+  flags.Bool("batching", &batching,
+             "serve each user row as a concurrent single-user request "
+             "through the async batching tier (coalesced mini-batches, "
+             "shape-keyed OPTIMUS decisions) instead of one TopKAll call");
+  flags.Int32("batch_rows", &batch_rows,
+              "--batching: max coalesced rows per dispatched batch");
+  flags.Double("batch_wait_ms", &batch_wait_ms,
+               "--batching: bounded-delay flush timeout");
+  flags.String("batch_policy", &batch_policy,
+               "--batching overload policy: block, shed, or drop_expired");
+  flags.Int32("batch_clients", &batch_clients,
+              "--batching: concurrent submitter threads");
   flags.String("demo", &demo,
                "generate a preset model instead of serving (preset id, "
                "e.g. netflix-nomad-50)");
@@ -163,10 +229,25 @@ int main(int argc, char** argv) {
   EngineOptions options;
   options.k = k;
   options.threads = threads;
+  // The batching tier serves realized mini-batch shapes, so let the
+  // optimizer key its decisions on them.
+  options.redecide_on_new_k = batching;
+  options.batch_shape_decisions = batching;
   const bool use_optimus = solver_spec == "optimus";
   options.solvers =
       use_optimus ? SplitCandidates(candidates)
                   : std::vector<std::string>{solver_spec};
+
+  BatchingOptions batching_options;
+  batching_options.max_batch_rows = batch_rows;
+  batching_options.max_wait_ms = batch_wait_ms;
+  batching_options.max_queue_rows =
+      std::max<Index>(batching_options.max_queue_rows, batch_rows);
+  if (batching) {
+    auto policy = ParseOverloadPolicy(batch_policy);
+    policy.status().CheckOK();
+    batching_options.overload_policy = *policy;
+  }
 
   WallTimer timer;
   TopKResult result;
@@ -198,8 +279,16 @@ int main(int argc, char** argv) {
                   use_optimus ? "OPTIMUS chose" : "serving with",
                   (*engine)->shard_strategy(s).c_str());
     }
-    (*engine)->TopKAll(k, &result).CheckOK();
-    elapsed = timer.Seconds();
+    if (batching) {
+      auto batcher = BatchingEngine::Create(engine->get(), batching_options);
+      batcher.status().CheckOK();
+      ServeViaBatching(batcher->get(), &*users, k, batch_clients, &result);
+      elapsed = timer.Seconds();
+      PrintBatchingStats(**batcher);
+    } else {
+      (*engine)->TopKAll(k, &result).CheckOK();
+      elapsed = timer.Seconds();
+    }
   } else {
     auto engine = MipsEngine::Open(ConstRowBlock(*users),
                                    ConstRowBlock(*items), options);
@@ -216,8 +305,16 @@ int main(int argc, char** argv) {
       }
       std::printf("\n");
     }
-    (*engine)->TopKAll(k, &result).CheckOK();
-    elapsed = timer.Seconds();
+    if (batching) {
+      auto batcher = BatchingEngine::Create(engine->get(), batching_options);
+      batcher.status().CheckOK();
+      ServeViaBatching(batcher->get(), &*users, k, batch_clients, &result);
+      elapsed = timer.Seconds();
+      PrintBatchingStats(**batcher);
+    } else {
+      (*engine)->TopKAll(k, &result).CheckOK();
+      elapsed = timer.Seconds();
+    }
   }
   WriteTopKCsv(result, out_path).CheckOK();
   std::printf("served %d users in %.3f s (%.1f us/user); results -> %s\n",

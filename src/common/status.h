@@ -24,6 +24,8 @@ enum class StatusCode {
   kInternal,
   kIOError,
   kUnimplemented,
+  kResourceExhausted,
+  kDeadlineExceeded,
 };
 
 /// Human-readable name for a StatusCode ("InvalidArgument", ...).
@@ -58,6 +60,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

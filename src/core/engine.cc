@@ -1,5 +1,7 @@
 #include "core/engine.h"
 
+#include <algorithm>
+#include <bit>
 #include <limits>
 #include <mutex>
 #include <numeric>
@@ -7,10 +9,10 @@
 #include "common/timer.h"
 #include "core/dynamic_maximus.h"
 #include "core/maximus.h"
-#include "linalg/blas.h"
+#include "linalg/gemm.h"
 #include "linalg/simd_dispatch.h"
 #include "solvers/registry.h"
-#include "topk/topk_heap.h"
+#include "topk/topk_block.h"
 
 namespace mips {
 
@@ -44,6 +46,11 @@ StatusOr<std::unique_ptr<MipsEngine>> MipsEngine::Open(
     return Status::InvalidArgument(
         "decision_ttl_seconds must be >= 0, got " +
         std::to_string(options.decision_ttl_seconds));
+  }
+  if (options.batch_shape_decisions && options.batch_shape_max_bucket < 1) {
+    return Status::InvalidArgument(
+        "batch_shape_max_bucket must be >= 1, got " +
+        std::to_string(options.batch_shape_max_bucket));
   }
 
   // Resolve the GEMM kernel before anything measures throughput: index
@@ -124,7 +131,7 @@ StatusOr<std::unique_ptr<MipsEngine>> MipsEngine::Open(
     engine->report_.gemm_kernel = ToString(ActiveGemmKernel());
     engine->report_.construction_seconds = build_seconds[0];
     engine->report_.total_seconds = build_wall_seconds;
-    engine->InsertDecision(options.k, 0);
+    engine->InsertDecision(engine->OpeningKey(), 0);
     return engine;
   }
 
@@ -145,28 +152,37 @@ StatusOr<std::unique_ptr<MipsEngine>> MipsEngine::Open(
     engine->report_.construction_seconds += build_seconds[s];
   }
   engine->report_.total_seconds += build_wall_seconds;
-  engine->InsertDecision(options.k, winner);
+  engine->InsertDecision(engine->OpeningKey(), winner);
   return engine;
 }
 
-void MipsEngine::InsertDecision(Index k, std::size_t winner) {
-  winner_by_k_.erase(k);  // re-insert after a TTL expiry refreshes `created`
+Index MipsEngine::ShapeBucket(Index rows) const {
+  if (!options_.batch_shape_decisions) return 0;
+  const Index capped =
+      std::clamp<Index>(rows, 1, options_.batch_shape_max_bucket);
+  return static_cast<Index>(std::bit_ceil(static_cast<uint32_t>(capped)));
+}
+
+void MipsEngine::InsertDecision(DecisionKey key, std::size_t winner) {
+  winner_by_k_.erase(key);  // re-insert after an expiry refreshes the entry
   winner_by_k_.emplace(
-      std::piecewise_construct, std::forward_as_tuple(k),
-      std::forward_as_tuple(winner, std::chrono::steady_clock::now()));
-  winner_by_k_.at(k).last_used.store(
+      std::piecewise_construct, std::forward_as_tuple(key),
+      std::forward_as_tuple(winner, std::chrono::steady_clock::now(),
+                            GemmKernelEpoch()));
+  winner_by_k_.at(key).last_used.store(
       decision_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
       std::memory_order_relaxed);
   const std::size_t capacity =
       static_cast<std::size_t>(options_.decision_cache_capacity);
   if (capacity == 0) return;  // unbounded
   while (winner_by_k_.size() > capacity) {
-    // Evict the least-recently-used k.  The opening k is pinned: the
-    // redecide-disabled fallback and strategy() rely on it being present.
+    // Evict the least-recently-used key.  The opening decision is
+    // pinned: the redecide-disabled fallback and strategy() rely on it
+    // being present.
     auto lru = winner_by_k_.end();
     uint64_t lru_stamp = std::numeric_limits<uint64_t>::max();
     for (auto it = winner_by_k_.begin(); it != winner_by_k_.end(); ++it) {
-      if (it->first == options_.k) continue;
+      if (it->first == OpeningKey()) continue;
       const uint64_t stamp =
           it->second.last_used.load(std::memory_order_relaxed);
       if (stamp < lru_stamp) {
@@ -181,22 +197,26 @@ void MipsEngine::InsertDecision(Index k, std::size_t winner) {
 }
 
 bool MipsEngine::DecisionExpired(const CachedDecision& entry) const {
-  // TTL only matters when a fresh decision is possible; with re-deciding
-  // disabled (or one candidate) the opening winner serves forever.
-  if (options_.decision_ttl_seconds <= 0 || !options_.redecide_on_new_k ||
-      solvers_.size() < 2) {
-    return false;
-  }
+  // Staleness only matters when a fresh decision is possible; with
+  // re-deciding disabled (or one candidate) the opening winner serves
+  // forever.
+  if (!options_.redecide_on_new_k || solvers_.size() < 2) return false;
+  // A kernel re-install changes the throughput regime every wall-clock
+  // estimate in this entry was measured under — stale immediately, no
+  // TTL required.
+  if (entry.kernel_epoch != GemmKernelEpoch()) return true;
+  if (options_.decision_ttl_seconds <= 0) return false;
   return std::chrono::steady_clock::now() - entry.created >
          std::chrono::duration<double>(options_.decision_ttl_seconds);
 }
 
-StatusOr<std::size_t> MipsEngine::StrategyForK(Index k) {
+StatusOr<std::size_t> MipsEngine::StrategyFor(Index k, Index batch_rows) {
   const std::size_t forced = forced_.load(std::memory_order_acquire);
   if (forced != kNoForcedStrategy) return forced;
+  const DecisionKey key{k, ShapeBucket(batch_rows)};
   {
     std::shared_lock<std::shared_mutex> lock(decision_mu_);
-    auto it = winner_by_k_.find(k);
+    auto it = winner_by_k_.find(key);
     if (it != winner_by_k_.end() && !DecisionExpired(it->second)) {
       // Recency bump under the shared lock: a relaxed store into the
       // entry's atomic stamp, so the hot path never takes the exclusive
@@ -208,44 +228,59 @@ StatusOr<std::size_t> MipsEngine::StrategyForK(Index k) {
       stats_.decision_cache_hits.fetch_add(1, std::memory_order_relaxed);
       return it->second.winner;
     }
-    // Unknown k, or a cached winner past its TTL: both are misses.
+    // Unknown key, or a cached winner gone stale: both are misses.
     stats_.decision_cache_misses.fetch_add(1, std::memory_order_relaxed);
     if (!options_.redecide_on_new_k || solvers_.size() < 2) {
       // Fall back to the opening decision: still exact, possibly not the
-      // fastest strategy for this k.  (Entries never expire in this
-      // mode — see DecisionExpired — so this is always an unknown k.)
-      return winner_by_k_.at(options_.k).winner;
+      // fastest strategy for this k/shape.  (Entries never expire in
+      // this mode — see DecisionExpired — so this is always an unknown
+      // key.)
+      return winner_by_k_.at(OpeningKey()).winner;
     }
   }
-  // The decision k and the query k diverged (or its winner went stale):
-  // re-run the sampling decision at this k and cache the winner.  The
-  // candidates were all Prepared at Open (indexes are k-independent), so
-  // only the sampling measurement is repeated.  The exclusive lock
-  // serializes concurrent first-queries of the same new k: one caller
-  // measures, the rest (re-checking under the lock) reuse its cached
-  // winner.
+  // The opening shape and the query's (k, batch shape) diverged, or the
+  // cached winner went stale: re-run the sampling decision for this key
+  // and cache the winner.  The candidates were all Prepared at Open
+  // (indexes are k-independent), so only the sampling measurement is
+  // repeated.  For a shape bucket > 0 the sample is exactly bucket-many
+  // users, so batching strategies are timed on a batch of the realized
+  // size — a 64-row coalesced batch may flip the winner to BMM where
+  // singletons picked an index.  The exclusive lock serializes
+  // concurrent first-queries of the same new key: one caller measures,
+  // the rest (re-checking under the lock) reuse its cached winner.
   std::unique_lock<std::shared_mutex> lock(decision_mu_);
   bool expired = false;
+  bool invalidated = false;
   {
-    auto it = winner_by_k_.find(k);
+    auto it = winner_by_k_.find(key);
     if (it != winner_by_k_.end()) {
       if (!DecisionExpired(it->second)) return it->second.winner;
       // The stale entry stays in place until the fresh decision below
       // succeeds (InsertDecision replaces it), so a decision failure
-      // never leaves the pinned opening k missing.
-      expired = true;
+      // never leaves the pinned opening decision missing.
+      if (it->second.kernel_epoch != GemmKernelEpoch()) {
+        invalidated = true;
+      } else {
+        expired = true;
+      }
     }
   }
   std::vector<MipsSolver*> raw;
   for (const auto& solver : solvers_) raw.push_back(solver.get());
-  Optimus optimus(options_.optimus);
+  OptimusOptions decision_options = options_.optimus;
+  decision_options.fixed_sample_users = key.second;
+  Optimus optimus(decision_options);
   std::size_t winner = 0;
   OptimusReport report;
   MIPS_RETURN_IF_ERROR(
       optimus.DecidePrepared(users_, items_, k, raw, &winner, &report));
-  InsertDecision(k, winner);
+  InsertDecision(key, winner);
   if (expired) {
     stats_.decision_cache_expirations.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (invalidated) {
+    stats_.decision_cache_invalidations.fetch_add(1,
+                                                  std::memory_order_relaxed);
   }
   stats_.redecisions.fetch_add(1, std::memory_order_relaxed);
   stats_.redecision_seconds.fetch_add(report.total_seconds,
@@ -266,7 +301,7 @@ Status MipsEngine::TopK(Index k, std::span<const Index> user_ids,
           std::to_string(users_.rows()) + " users)");
     }
   }
-  auto strategy = StrategyForK(k);
+  auto strategy = StrategyFor(k, static_cast<Index>(user_ids.size()));
   MIPS_RETURN_IF_ERROR(strategy.status());
   WallTimer timer;
   MIPS_RETURN_IF_ERROR(solvers_[*strategy]->TopKForUsers(k, user_ids, out));
@@ -285,35 +320,86 @@ Status MipsEngine::TopKAll(Index k, TopKResult* out) {
 
 Status MipsEngine::TopKNewUser(const Real* user_vector, Index k,
                                TopKEntry* out_row) {
+  // One code path for singleton and coalesced serving: a 1-row batch.
+  // Every batched row is computed exactly as this call computes it, so
+  // the serve-side coalescing layer (serve/batching_engine.h) returns
+  // bit-for-bit the answer the caller would have gotten alone.
+  TopKResult one;
+  MIPS_RETURN_IF_ERROR(TopKNewUsers(user_vector, 1, k, &one));
+  const TopKEntry* row = one.Row(0);
+  for (Index e = 0; e < k; ++e) out_row[e] = row[e];
+  return Status::OK();
+}
+
+Status MipsEngine::DenseScoreNewUsers(const Real* user_vectors,
+                                      Index num_rows, Index k,
+                                      TopKResult* out) {
+  // Mirrors BmmSolver's small-batch regime: one blocked GEMM per
+  // score-block chunk (macro-panels fan out across the pool), then a
+  // parallel per-row top-K reduction.  Chunking bounds the score block
+  // to ~16 MB however wide the catalog is.
+  const Index n = items_.rows();
+  const Index f = items_.cols();
+  const std::size_t row_bytes = static_cast<std::size_t>(n) * sizeof(Real);
+  const Index chunk = static_cast<Index>(std::clamp<std::size_t>(
+      (16ull << 20) / std::max<std::size_t>(1, row_bytes), 1,
+      static_cast<std::size_t>(num_rows)));
+  Matrix scores(chunk, n);
+  for (Index b = 0; b < num_rows; b += chunk) {
+    const Index m = std::min<Index>(chunk, num_rows - b);
+    GemmNT(user_vectors + static_cast<std::size_t>(b) * f, m, items_.data(),
+           n, f, /*alpha=*/1, /*beta=*/0, scores.data(), scores.cols(),
+           pool());
+    ParallelFor(pool(), m, [&](int64_t begin, int64_t end, int /*chunk_i*/) {
+      TopKFromScoreBlock(
+          scores.data() + static_cast<std::size_t>(begin) * scores.cols(),
+          static_cast<Index>(end - begin), n, scores.cols(), k,
+          /*item_offset=*/0, /*item_ids=*/nullptr, out,
+          b + static_cast<Index>(begin));
+    });
+  }
+  return Status::OK();
+}
+
+Status MipsEngine::TopKNewUsers(const Real* user_vectors, Index num_rows,
+                                Index k, TopKResult* out) {
   if (k <= 0) {
     return Status::InvalidArgument("k must be positive, got " +
                                    std::to_string(k));
   }
-  if (user_vector == nullptr) {
-    return Status::InvalidArgument("user_vector must not be null");
+  if (user_vectors == nullptr) {
+    return Status::InvalidArgument("user_vectors must not be null");
   }
-  auto strategy = StrategyForK(k);
+  if (num_rows <= 0) {
+    return Status::InvalidArgument("num_rows must be positive, got " +
+                                   std::to_string(num_rows));
+  }
+  auto strategy = StrategyFor(k, num_rows);
   MIPS_RETURN_IF_ERROR(strategy.status());
   MipsSolver* solver = solvers_[*strategy].get();
   WallTimer timer;
+  *out = TopKResult(num_rows, k);
+  const Index f = items_.cols();
   if (auto* maximus = dynamic_cast<MaximusSolver*>(solver)) {
-    // Exact dynamic-user walk (Section III-E).
-    MIPS_RETURN_IF_ERROR(maximus->QueryDynamicUser(user_vector, k, out_row));
-  } else if (auto* dynamic = dynamic_cast<DynamicMaximusSolver*>(solver)) {
-    MIPS_RETURN_IF_ERROR(dynamic->QueryNewUser(user_vector, k, out_row));
-  } else {
-    // Dense scoring row: one pass of inner products + heap.  Exact and
-    // strategy-independent; a single user cannot exploit blocking anyway.
-    const Index n = items_.rows();
-    const Index f = items_.cols();
-    TopKHeap heap(k);
-    for (Index i = 0; i < n; ++i) {
-      heap.Push(i, Dot(user_vector, items_.Row(i), f));
+    // Exact dynamic-user walk (Section III-E), one probe per row: the
+    // decision said index probes beat a GEMM at this batch shape.
+    for (Index r = 0; r < num_rows; ++r) {
+      MIPS_RETURN_IF_ERROR(maximus->QueryDynamicUser(
+          user_vectors + static_cast<std::size_t>(r) * f, k, out->Row(r)));
     }
-    heap.ExtractDescending(out_row);
+  } else if (auto* dynamic = dynamic_cast<DynamicMaximusSolver*>(solver)) {
+    for (Index r = 0; r < num_rows; ++r) {
+      MIPS_RETURN_IF_ERROR(dynamic->QueryNewUser(
+          user_vectors + static_cast<std::size_t>(r) * f, k, out->Row(r)));
+    }
+  } else {
+    // Every other strategy scores new users densely (their index
+    // structures are keyed to the prepared user matrix): one blocked
+    // GEMM over the whole coalesced batch — the batching win.
+    MIPS_RETURN_IF_ERROR(DenseScoreNewUsers(user_vectors, num_rows, k, out));
   }
   stats_.serve_seconds.fetch_add(timer.Seconds(), std::memory_order_relaxed);
-  stats_.new_users_served.fetch_add(1, std::memory_order_relaxed);
+  stats_.new_users_served.fetch_add(num_rows, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -349,7 +435,7 @@ const std::string& MipsEngine::strategy() const {
   const std::size_t forced = forced_.load(std::memory_order_acquire);
   if (forced != kNoForcedStrategy) return names_[forced];
   std::shared_lock<std::shared_mutex> lock(decision_mu_);
-  return names_[winner_by_k_.at(options_.k).winner];
+  return names_[winner_by_k_.at(OpeningKey()).winner];
 }
 
 MipsEngine::Stats MipsEngine::stats() const {
@@ -370,6 +456,8 @@ MipsEngine::Stats MipsEngine::stats() const {
       stats_.decision_cache_evictions.load(std::memory_order_relaxed);
   snapshot.decision_cache_expirations =
       stats_.decision_cache_expirations.load(std::memory_order_relaxed);
+  snapshot.decision_cache_invalidations =
+      stats_.decision_cache_invalidations.load(std::memory_order_relaxed);
   snapshot.gemm_kernel = ToString(ActiveGemmKernel());
   {
     std::shared_lock<std::shared_mutex> lock(decision_mu_);

@@ -51,6 +51,7 @@
 #include <memory>
 #include <shared_mutex>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -100,6 +101,23 @@ struct EngineOptions {
   /// impossible (redecide_on_new_k = false, or a single candidate):
   /// expiring an entry that cannot be re-measured would serve nothing.
   double decision_ttl_seconds = 0;
+  /// When true, per-k decisions additionally key on the REALIZED BATCH
+  /// SHAPE: a query's row count is bucketed to the next power of two
+  /// (capped at batch_shape_max_bucket) and each (k, bucket) pair gets
+  /// its own sampling decision, measured on a bucket-sized batch
+  /// (OptimusOptions::fixed_sample_users).  This is the paper's central
+  /// trade-off surfacing at serve time: a 64-row coalesced batch
+  /// amortizes the GEMM's item-panel sweep and may pick BMM where each
+  /// singleton picked an index probe.  Off by default — the population-
+  /// scale per-k decision (bucket 0) then serves every shape, preserving
+  /// the pre-existing behavior.  Decisions share the LRU/TTL cache
+  /// machinery either way.  BatchingEngine (serve/batching_engine.h)
+  /// turns this on for its backend.
+  bool batch_shape_decisions = false;
+  /// Largest shape bucket when batch_shape_decisions is set; batches
+  /// beyond it share the cap bucket's decision (amortization has
+  /// saturated by then).
+  Index batch_shape_max_bucket = 128;
   /// Which GEMM micro-kernel the engine's BMM/index GEMMs dispatch to
   /// (linalg/simd_dispatch.h).  "auto" keeps the process-wide choice
   /// (MIPS_GEMM_KERNEL env override, else the startup micro-probe);
@@ -132,8 +150,25 @@ class MipsEngine {
   Status TopKAll(Index k, TopKResult* out);
 
   /// Exact top-K for a user vector that is NOT in the prepared user
-  /// matrix.  `out_row` must hold k entries.
+  /// matrix.  `out_row` must hold k entries.  Serves through the same
+  /// code path as a 1-row TopKNewUsers call, so a singleton answer is
+  /// bit-for-bit the row a coalesced batch would produce for the same
+  /// vector.
   Status TopKNewUser(const Real* user_vector, Index k, TopKEntry* out_row);
+
+  /// Exact top-K for a mini-batch of `num_rows` new-user vectors, stored
+  /// contiguously row-major (num_rows x num_factors) at `user_vectors`.
+  /// This is the serve-side coalescing path (serve/batching_engine.h):
+  /// when the serving strategy is MAXIMUS-family each row runs the exact
+  /// dynamic-user walk; otherwise the whole batch is scored with one
+  /// blocked GEMM against the item matrix — the batching win the paper's
+  /// Clipper-style setting exists to exploit.  Row r of *out depends only
+  /// on row r of the input (the GEMM accumulates each score over the
+  /// factor axis in a fixed order independent of the batch's row count),
+  /// so results are bit-for-bit identical whether a vector is served
+  /// alone or coalesced into any batch.  Safe for concurrent callers.
+  Status TopKNewUsers(const Real* user_vectors, Index num_rows, Index k,
+                      TopKResult* out);
 
   /// Overrides the optimizer: every subsequent query uses the candidate
   /// whose solver name — or, for tuned variants of the same solver,
@@ -182,6 +217,12 @@ class MipsEngine {
     /// (each one also counts as a miss for the query that found it
     /// stale).
     int64_t decision_cache_expirations = 0;
+    /// Cached winners dropped because the GEMM kernel was re-installed
+    /// after they were measured (ForceGemmKernel mid-flight): the
+    /// throughput regime they were decided under no longer exists, so
+    /// the next query re-decides immediately instead of waiting out the
+    /// TTL.  Each one also counts as a miss.
+    int64_t decision_cache_invalidations = 0;
     int64_t decision_cache_size = 0;
     /// The GEMM micro-kernel installed at snapshot time ("portable",
     /// "avx2", "avx512") — the throughput regime every wall-clock
@@ -193,16 +234,33 @@ class MipsEngine {
  private:
   MipsEngine() = default;
 
-  /// Index into solvers_ of the strategy serving k (decides and caches
-  /// on a miss).  Lock-free-ish hot path: shared lock on a cache hit,
-  /// exclusive lock (serializing the decision) on a miss or a
-  /// TTL-expired winner.
-  StatusOr<std::size_t> StrategyForK(Index k);
+  /// Decision-cache key: the query k plus the realized-batch-shape
+  /// bucket (0 = the population-scale decision; a power of two when
+  /// batch_shape_decisions keys on shape).
+  using DecisionKey = std::pair<Index, Index>;
+  /// The pinned opening decision's key.
+  DecisionKey OpeningKey() const { return {options_.k, 0}; }
+  /// Shape bucket for a batch of `rows` (0 when shape-keying is off).
+  Index ShapeBucket(Index rows) const;
+
+  /// Index into solvers_ of the strategy serving a k/batch-shape pair
+  /// (decides and caches on a miss).  Lock-free-ish hot path: shared
+  /// lock on a cache hit, exclusive lock (serializing the decision) on a
+  /// miss, a TTL-expired winner, or a kernel-epoch-invalidated winner.
+  StatusOr<std::size_t> StrategyFor(Index k, Index batch_rows);
 
   struct CachedDecision;
-  /// Whether `entry` outlived decision_ttl_seconds (always false when
-  /// TTL is disabled or re-deciding is impossible).
+  /// Whether `entry` outlived decision_ttl_seconds or was measured under
+  /// a GEMM kernel that has since been re-installed (always false when
+  /// re-deciding is impossible).
   bool DecisionExpired(const CachedDecision& entry) const;
+
+  /// Dense-scoring fallback for new-user batches: one blocked GEMM over
+  /// the items per score-block chunk + per-row top-K.  Used for every
+  /// non-MAXIMUS-family strategy (a new user has no row in any prepared
+  /// index's user-side structures).
+  Status DenseScoreNewUsers(const Real* user_vectors, Index num_rows,
+                            Index k, TopKResult* out);
 
   /// The pool serving this engine: the shared external pool when one was
   /// injected, else the engine-owned pool (null = single-threaded).
@@ -219,31 +277,35 @@ class MipsEngine {
   std::vector<std::string> names_;  // solver names, parallel to solvers_
   std::vector<std::string> specs_;  // opening specs, parallel to solvers_
 
-  /// One cached per-k decision.  `last_used` is a recency stamp from
-  /// decision_clock_, bumped with a relaxed store on every (shared-locked)
-  /// hit; eviction drops the smallest stamp.  `created` is the TTL
-  /// anchor: written once at insertion (under the exclusive lock, so it
-  /// is safely published to shared-lock readers).  Stored in a node-based
-  /// map so the atomic member never needs to move.
+  /// One cached per-(k, shape) decision.  `last_used` is a recency stamp
+  /// from decision_clock_, bumped with a relaxed store on every
+  /// (shared-locked) hit; eviction drops the smallest stamp.  `created`
+  /// is the TTL anchor and `kernel_epoch` the GEMM-kernel install count
+  /// the decision was measured under: both written once at insertion
+  /// (under the exclusive lock, so they are safely published to
+  /// shared-lock readers).  Stored in a node-based map so the atomic
+  /// member never needs to move.
   struct CachedDecision {
-    CachedDecision(std::size_t w, std::chrono::steady_clock::time_point t)
-        : winner(w), created(t) {}
+    CachedDecision(std::size_t w, std::chrono::steady_clock::time_point t,
+                   uint64_t epoch)
+        : winner(w), created(t), kernel_epoch(epoch) {}
     std::size_t winner;
     std::chrono::steady_clock::time_point created;
+    uint64_t kernel_epoch;
     mutable std::atomic<uint64_t> last_used{0};
   };
 
   /// Guards winner_by_k_.  Shared: cache lookups.  Exclusive: inserting
-  /// the winner for a new k (held across DecidePrepared so one decision
+  /// the winner for a new key (held across DecidePrepared so one decision
   /// runs at a time and latecomers reuse its result) and evicting.
   mutable std::shared_mutex decision_mu_;
-  std::map<Index, CachedDecision> winner_by_k_;
+  std::map<DecisionKey, CachedDecision> winner_by_k_;
   std::atomic<uint64_t> decision_clock_{0};
 
-  /// Caches `winner` for k, evicting the least-recently-used non-pinned
-  /// entries while the cache exceeds capacity.  Caller holds decision_mu_
-  /// exclusively.
-  void InsertDecision(Index k, std::size_t winner);
+  /// Caches `winner` for `key`, evicting the least-recently-used
+  /// non-pinned entries while the cache exceeds capacity.  Caller holds
+  /// decision_mu_ exclusively.
+  void InsertDecision(DecisionKey key, std::size_t winner);
 
   std::atomic<std::size_t> forced_{kNoForcedStrategy};
   OptimusReport report_;
@@ -259,6 +321,7 @@ class MipsEngine {
     std::atomic<int64_t> decision_cache_misses{0};
     std::atomic<int64_t> decision_cache_evictions{0};
     std::atomic<int64_t> decision_cache_expirations{0};
+    std::atomic<int64_t> decision_cache_invalidations{0};
   };
   AtomicStats stats_;
 

@@ -52,16 +52,24 @@ Status Optimus::DecideInternal(const ConstRowBlock& users,
   }
 
   // --- Step 2: draw the user sample (ratio floor + L2 cache floor,
-  // capped to a strict minority of the users on small instances). ---
+  // capped to a strict minority of the users on small instances).  A
+  // fixed_sample_users override skips the population sizing entirely:
+  // the caller is asking about a concrete batch shape, so the sample IS
+  // the batch. ---
   Rng rng(options_.seed);
-  Index sample_size = OptimizerSampleSize(
-      n, options_.sample_ratio, users.cols(), options_.l2_cache_bytes);
-  // Floor of 64: even when the cap binds, BMM's sample GEMM needs enough
-  // rows to exercise the blocked kernel (the L2-fill rationale, scaled).
-  const Index cap = std::max<Index>(
-      64, static_cast<Index>(std::ceil(options_.max_sample_ratio *
-                                       static_cast<double>(n))));
-  sample_size = std::min(sample_size, std::min(cap, n));
+  Index sample_size;
+  if (options_.fixed_sample_users > 0) {
+    sample_size = std::min(options_.fixed_sample_users, n);
+  } else {
+    sample_size = OptimizerSampleSize(
+        n, options_.sample_ratio, users.cols(), options_.l2_cache_bytes);
+    // Floor of 64: even when the cap binds, BMM's sample GEMM needs enough
+    // rows to exercise the blocked kernel (the L2-fill rationale, scaled).
+    const Index cap = std::max<Index>(
+        64, static_cast<Index>(std::ceil(options_.max_sample_ratio *
+                                         static_cast<double>(n))));
+    sample_size = std::min(sample_size, std::min(cap, n));
+  }
   sample_out->sample = SampleWithoutReplacement(n, sample_size, &rng);
   const std::vector<Index>& sample = sample_out->sample;
   rep.sample_size = static_cast<Index>(sample.size());
@@ -70,17 +78,29 @@ Status Optimus::DecideInternal(const ConstRowBlock& users,
   // Batching strategies first: their per-user means provide mu0 for the
   // t-test on the point-query strategies.
   sample_out->results.assign(strategies.size(), TopKResult());
+  // Fixed-shape decisions over tiny batches (1-8 rows) would otherwise
+  // ride on a single sub-millisecond timing; repeat the measurement a few
+  // times and keep the best (interference only ever slows a run down).
+  const int reps =
+      options_.fixed_sample_users > 0
+          ? static_cast<int>(std::clamp<Index>(
+                32 / static_cast<Index>(sample.size()), 1, 8))
+          : 1;
   double best_batching_mean = std::numeric_limits<double>::infinity();
   for (std::size_t s = 0; s < strategies.size(); ++s) {
     if (!strategies[s]->batches_users()) continue;
     StrategyEstimate& est = rep.estimates[s];
+    double best_call = std::numeric_limits<double>::infinity();
     WallTimer timer;
-    MIPS_RETURN_IF_ERROR(
-        strategies[s]->TopKForUsers(k, sample, &sample_out->results[s]));
+    for (int r = 0; r < reps; ++r) {
+      WallTimer call_timer;
+      MIPS_RETURN_IF_ERROR(
+          strategies[s]->TopKForUsers(k, sample, &sample_out->results[s]));
+      best_call = std::min(best_call, call_timer.Seconds());
+    }
     est.sampling_seconds = timer.Seconds();
     est.measured_users = static_cast<Index>(sample.size());
-    est.est_per_user_seconds =
-        est.sampling_seconds / static_cast<double>(sample.size());
+    est.est_per_user_seconds = best_call / static_cast<double>(sample.size());
     est.est_total_seconds = est.est_per_user_seconds * n;
     best_batching_mean =
         std::min(best_batching_mean, est.est_per_user_seconds);
@@ -98,19 +118,24 @@ Status Optimus::DecideInternal(const ConstRowBlock& users,
     WallTimer timer;
     Index measured = 0;
     TopKResult one_row;
-    for (std::size_t i = 0; i < sample.size(); ++i) {
-      WallTimer per_user;
-      const Index id = sample[i];
-      MIPS_RETURN_IF_ERROR(strategies[s]->TopKForUsers(
-          k, std::span<const Index>(&id, 1), &one_row));
-      const double elapsed = per_user.Seconds();
-      sample_out->results[s].CopyRowFrom(one_row, 0, static_cast<Index>(i));
-      ++measured;
-      if (can_early_stop && ttest.Add(elapsed).significant) {
-        est.early_stopped = true;
-        break;
+    for (int r = 0; r < reps && !est.early_stopped; ++r) {
+      for (std::size_t i = 0; i < sample.size(); ++i) {
+        WallTimer per_user;
+        const Index id = sample[i];
+        MIPS_RETURN_IF_ERROR(strategies[s]->TopKForUsers(
+            k, std::span<const Index>(&id, 1), &one_row));
+        const double elapsed = per_user.Seconds();
+        if (r == 0) {
+          sample_out->results[s].CopyRowFrom(one_row, 0,
+                                             static_cast<Index>(i));
+          ++measured;
+        }
+        if (can_early_stop && ttest.Add(elapsed).significant) {
+          est.early_stopped = true;
+          break;
+        }
+        if (!can_early_stop) ttest.Add(elapsed);
       }
-      if (!can_early_stop) ttest.Add(elapsed);
     }
     est.sampling_seconds = timer.Seconds();
     est.measured_users = measured;

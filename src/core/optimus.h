@@ -45,6 +45,15 @@ struct OptimusOptions {
   double ttest_alpha = 0.05;
   int ttest_min_observations = 8;
   uint64_t seed = 123;
+  /// When > 0, the sample is exactly this many users (capped at |U|) and
+  /// the ratio/L2-floor sizing above is bypassed.  This is how a serving
+  /// layer asks "which strategy wins for a B-row mini-batch?": batching
+  /// strategies are then timed on a single B-row call — a 1-row "batch"
+  /// GEMM pays the full item-panel sweep for one user, while 64 coalesced
+  /// rows amortize it — so the decision reflects the realized batch
+  /// shape instead of the full-population extrapolation (see
+  /// EngineOptions::batch_shape_decisions).  0 = population sizing.
+  Index fixed_sample_users = 0;
 };
 
 /// Measured/estimated cost of one candidate strategy.

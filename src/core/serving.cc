@@ -15,8 +15,12 @@ StatusOr<std::unique_ptr<ServingSession>> ServingSession::Open(
   engine_options.optimus = options.optimus;
   // Sessions are fixed-k by contract; a diverging k would indicate a
   // caller bug, so serve it with the opening winner instead of paying
-  // for a re-decision.
-  engine_options.redecide_on_new_k = false;
+  // for a re-decision.  Batching sessions re-open that door along the
+  // *shape* axis: coalesced mini-batches land at the session's k but at
+  // varying row counts, and the index-vs-BMM winner flips with the row
+  // count, so the engine keys decisions on (k, batch-size bucket).
+  engine_options.redecide_on_new_k = options.batching;
+  engine_options.batch_shape_decisions = options.batching;
 
   std::unique_ptr<ServingSession> session(new ServingSession());
   session->k_ = options.k;
@@ -38,51 +42,78 @@ StatusOr<std::unique_ptr<ServingSession>> ServingSession::Open(
       }
       session->sharded_strategy_ += session->sharded_engine_->shard_strategy(s);
     }
+    if (options.batching) {
+      auto batching = BatchingEngine::Create(session->sharded_engine_.get(),
+                                             options.batching_options);
+      MIPS_RETURN_IF_ERROR(batching.status());
+      session->batching_ = std::move(*batching);
+    }
     return session;
   }
   auto engine = MipsEngine::Open(users, items, engine_options);
   MIPS_RETURN_IF_ERROR(engine.status());
   session->engine_ = std::move(*engine);
+  if (options.batching) {
+    auto batching = BatchingEngine::Create(session->engine_.get(),
+                                           options.batching_options);
+    MIPS_RETURN_IF_ERROR(batching.status());
+    session->batching_ = std::move(*batching);
+  }
   return session;
 }
 
 Status ServingSession::ServeBatch(std::span<const Index> user_ids,
                                   TopKResult* out) {
   if (engine_ != nullptr) {
-    MIPS_RETURN_IF_ERROR(engine_->TopK(k_, user_ids, out));
-    const MipsEngine::Stats& engine_stats = engine_->stats();
-    stats_.batches_served = engine_stats.batches_served;
-    stats_.users_served = engine_stats.users_served;
-    stats_.serve_seconds = engine_stats.serve_seconds;
-    return Status::OK();
+    return engine_->TopK(k_, user_ids, out);
   }
-  // counters(), not stats(): the full per-shard snapshot (vector +
-  // strings + per-shard locks) is diagnostics-priced, not
-  // per-request-priced.  Snapshot assignment (no read-modify-write)
-  // mirrors the unsharded branch so concurrent ServeBatch callers never
-  // lose counts — the engine's atomics are the source of truth.
-  MIPS_RETURN_IF_ERROR(sharded_engine_->TopK(k_, user_ids, out));
-  const ShardedMipsEngine::Counters counters = sharded_engine_->counters();
-  stats_.batches_served = counters.batches_served;
-  stats_.users_served = counters.users_served;
-  stats_.serve_seconds = counters.serve_seconds;
-  return Status::OK();
+  return sharded_engine_->TopK(k_, user_ids, out);
 }
 
 Status ServingSession::ServeNewUser(const Real* user_vector,
                                     TopKEntry* out_row) {
-  if (engine_ != nullptr) {
-    MIPS_RETURN_IF_ERROR(engine_->TopKNewUser(user_vector, k_, out_row));
-    const MipsEngine::Stats& engine_stats = engine_->stats();
-    stats_.new_users_served = engine_stats.new_users_served;
-    stats_.serve_seconds = engine_stats.serve_seconds;
-    return Status::OK();
+  if (batching_ != nullptr) {
+    return batching_->TopKNewUser(user_vector, k_, out_row);
   }
-  MIPS_RETURN_IF_ERROR(sharded_engine_->TopKNewUser(user_vector, k_, out_row));
+  if (engine_ != nullptr) {
+    return engine_->TopKNewUser(user_vector, k_, out_row);
+  }
+  return sharded_engine_->TopKNewUser(user_vector, k_, out_row);
+}
+
+ServingSession::Stats ServingSession::stats() const {
+  Stats stats;
+  if (engine_ != nullptr) {
+    const MipsEngine::Stats& engine_stats = engine_->stats();
+    stats.batches_served = engine_stats.batches_served;
+    stats.users_served = engine_stats.users_served;
+    stats.new_users_served = engine_stats.new_users_served;
+    stats.serve_seconds = engine_stats.serve_seconds;
+    return stats;
+  }
+  // counters(), not stats(): the full per-shard snapshot (vector +
+  // strings + per-shard locks) is diagnostics-priced; the engine's
+  // atomics are the source of truth either way.
   const ShardedMipsEngine::Counters counters = sharded_engine_->counters();
-  stats_.new_users_served = counters.new_users_served;
-  stats_.serve_seconds = counters.serve_seconds;
-  return Status::OK();
+  stats.batches_served = counters.batches_served;
+  stats.users_served = counters.users_served;
+  stats.new_users_served = counters.new_users_served;
+  stats.serve_seconds = counters.serve_seconds;
+  return stats;
+}
+
+std::future<Status> ServingSession::SubmitNewUser(const Real* user_vector,
+                                                  TopKEntry* out_row,
+                                                  double deadline_ms) {
+  if (batching_ == nullptr) {
+    std::promise<Status> promise;
+    std::future<Status> future = promise.get_future();
+    promise.set_value(Status::FailedPrecondition(
+        "SubmitNewUser requires a batching session "
+        "(ServingOptions::batching)"));
+    return future;
+  }
+  return batching_->SubmitNewUser(user_vector, k_, out_row, deadline_ms);
 }
 
 }  // namespace mips

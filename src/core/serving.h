@@ -21,6 +21,7 @@
 
 #include "core/engine.h"
 #include "core/optimus.h"
+#include "serve/batching_engine.h"
 #include "shard/sharded_engine.h"
 #include "solvers/solver.h"
 
@@ -39,6 +40,15 @@ struct ServingOptions {
   int num_shards = 1;
   /// Item placement when num_shards > 1.
   ShardingStrategy sharding = ShardingStrategy::kContiguous;
+  /// Coalesce concurrent ServeNewUser calls into mini-batches behind a
+  /// BatchingEngine (serve/batching_engine.h).  Turning this on also
+  /// enables shape-keyed strategy decisions in the wrapped engine
+  /// (EngineOptions::batch_shape_decisions with re-decisions on), so
+  /// OPTIMUS re-answers "index or BMM?" per realized batch size instead
+  /// of assuming population-scale batches.
+  bool batching = false;
+  /// Queueing/coalescing knobs when `batching` is on.
+  BatchingOptions batching_options;
 };
 
 /// A long-lived serving endpoint over one (users, items) model.
@@ -56,8 +66,17 @@ class ServingSession {
   Status ServeBatch(std::span<const Index> user_ids, TopKResult* out);
 
   /// Exact top-K for a user vector that was NOT in the session's user
-  /// matrix (Section III-E).  `out_row` must hold k entries.
+  /// matrix (Section III-E).  `out_row` must hold k entries.  With
+  /// batching on, concurrent callers are coalesced into one GEMM-sized
+  /// mini-batch; the answer stays bit-for-bit the singleton answer.
   Status ServeNewUser(const Real* user_vector, TopKEntry* out_row);
+
+  /// Async admission with an optional per-request deadline (batching
+  /// sessions only; FailedPrecondition otherwise).  See
+  /// BatchingEngine::SubmitNewUser for lifetime rules.
+  std::future<Status> SubmitNewUser(const Real* user_vector,
+                                    TopKEntry* out_row,
+                                    double deadline_ms = 0);
 
   /// Name of the strategy OPTIMUS selected at Open time.  For a sharded
   /// session this is the '|'-joined per-shard winners in shard order
@@ -78,20 +97,24 @@ class ServingSession {
                      ->decision_report();
   }
 
-  /// Cumulative serving statistics.
+  /// Cumulative serving statistics.  Computed on demand from the wrapped
+  /// engine's atomic counters, so concurrent serve calls (a batching
+  /// session's normal traffic) never race on session state.
   struct Stats {
     int64_t batches_served = 0;
     int64_t users_served = 0;
     int64_t new_users_served = 0;
     double serve_seconds = 0;
   };
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
 
   /// The engine this session wraps (full API: per-call k, overrides).
   /// Null when the session is sharded — use sharded_engine() then.
   MipsEngine* engine() { return engine_.get(); }
   /// The sharded engine (num_shards > 1 sessions); null otherwise.
   ShardedMipsEngine* sharded_engine() { return sharded_engine_.get(); }
+  /// The admission/coalescing front (batching sessions); null otherwise.
+  BatchingEngine* batching_engine() { return batching_.get(); }
 
  private:
   ServingSession() = default;
@@ -99,9 +122,10 @@ class ServingSession {
   Index k_ = 0;
   std::unique_ptr<MipsEngine> engine_;
   std::unique_ptr<ShardedMipsEngine> sharded_engine_;
+  /// Declared after the engines so it is destroyed (drained) first.
+  std::unique_ptr<BatchingEngine> batching_;
   std::string sharded_strategy_;
   int first_active_shard_ = 0;
-  Stats stats_;
 };
 
 }  // namespace mips

@@ -44,6 +44,9 @@ std::atomic<int> g_active_source{static_cast<int>(GemmKernelSource::kProbe)};
 std::mutex g_install_mu;
 GemmKernelProbe g_install_probe;
 
+/// Bumped on every install (see GemmKernelEpoch in the header).
+std::atomic<uint64_t> g_install_epoch{0};
+
 bool CpuSupportsIsa(GemmKernel kernel) {
 #if defined(__x86_64__) || defined(__i386__)
   // __builtin_cpu_supports accounts for OS AVX state support (XGETBV),
@@ -123,6 +126,7 @@ void InstallLocked(GemmKernel kernel, GemmKernelSource source,
   g_active_source.store(static_cast<int>(source), std::memory_order_relaxed);
   g_active_kernel.store(static_cast<int>(kernel), std::memory_order_relaxed);
   g_active_fn.store(TableEntry(kernel).fn, std::memory_order_release);
+  g_install_epoch.fetch_add(1, std::memory_order_release);
 }
 
 GemmMicroKernelFn EnsureInstalled() {
@@ -224,6 +228,10 @@ GemmKernelProbe ActiveGemmKernelProbe() {
   EnsureInstalled();
   std::lock_guard<std::mutex> lock(g_install_mu);
   return g_install_probe;
+}
+
+uint64_t GemmKernelEpoch() {
+  return g_install_epoch.load(std::memory_order_acquire);
 }
 
 void ResetGemmKernelForTest() {

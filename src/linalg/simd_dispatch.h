@@ -100,6 +100,15 @@ GemmKernelSource ActiveGemmKernelSource();
 /// filled).  Installs a kernel first if none is installed.
 GemmKernelProbe ActiveGemmKernelProbe();
 
+/// Monotonic count of kernel installs (probe, env, or ForceGemmKernel —
+/// including re-installs of the already-active kernel).  0 until the
+/// first install.  Consumers that cache wall-clock measurements (the
+/// engine's per-k decision cache) snapshot this at measurement time and
+/// treat a later mismatch as "measured under a different throughput
+/// regime": a mid-flight ForceGemmKernel then proactively invalidates
+/// those decisions instead of waiting out their TTL.
+uint64_t GemmKernelEpoch();
+
 /// Testing hook: uninstalls the active kernel so the next use re-runs the
 /// env-override/probe path.  Not for production use — concurrent GEMMs
 /// stay correct (see above), but the choice becomes nondeterministic

@@ -25,6 +25,7 @@
 #include "data/synthetic.h"       // IWYU pragma: export
 #include "linalg/matrix.h"        // IWYU pragma: export
 #include "linalg/simd_dispatch.h" // IWYU pragma: export
+#include "serve/batching_engine.h"  // IWYU pragma: export
 #include "shard/partition.h"      // IWYU pragma: export
 #include "shard/sharded_engine.h" // IWYU pragma: export
 #include "solvers/bmm.h"          // IWYU pragma: export

@@ -128,32 +128,51 @@ Status ShardedMipsEngine::TopKAll(Index k, TopKResult* out) {
 
 Status ShardedMipsEngine::TopKNewUser(const Real* user_vector, Index k,
                                       TopKEntry* out_row) {
+  TopKResult one;
+  MIPS_RETURN_IF_ERROR(TopKNewUsers(user_vector, 1, k, &one));
+  const TopKEntry* row = one.Row(0);
+  for (Index e = 0; e < k; ++e) out_row[e] = row[e];
+  return Status::OK();
+}
+
+Status ShardedMipsEngine::TopKNewUsers(const Real* user_vectors,
+                                       Index num_rows, Index k,
+                                       TopKResult* out) {
   if (k <= 0) {
     return Status::InvalidArgument("k must be positive, got " +
                                    std::to_string(k));
   }
-  if (user_vector == nullptr) {
-    return Status::InvalidArgument("user_vector must not be null");
+  if (user_vectors == nullptr) {
+    return Status::InvalidArgument("user_vectors must not be null");
+  }
+  if (num_rows <= 0) {
+    return Status::InvalidArgument("num_rows must be positive, got " +
+                                   std::to_string(num_rows));
   }
   WallTimer timer;
-  std::vector<std::vector<TopKEntry>> partial_rows(active_shards_.size());
-  std::vector<const TopKEntry*> rows;
-  rows.reserve(active_shards_.size());
+  // Scatter the whole batch: each shard answers all rows at once (its own
+  // strategy decision is keyed on this batch shape), then remap and merge
+  // exactly as the known-user path does.
+  std::vector<TopKResult> partials(active_shards_.size());
   for (std::size_t i = 0; i < active_shards_.size(); ++i) {
     const int s = active_shards_[i];
-    std::vector<TopKEntry>& row = partial_rows[i];
-    row.resize(static_cast<std::size_t>(k));
-    MIPS_RETURN_IF_ERROR(engines_[static_cast<std::size_t>(s)]->TopKNewUser(
-        user_vector, k, row.data()));
+    MIPS_RETURN_IF_ERROR(engines_[static_cast<std::size_t>(s)]->TopKNewUsers(
+        user_vectors, num_rows, k, &partials[i]));
     const ItemShard& shard = partition_.shard(s);
-    for (TopKEntry& entry : row) {
-      if (entry.item >= 0) entry.item = shard.ToGlobal(entry.item);
+    TopKResult& partial = partials[i];
+    for (Index q = 0; q < partial.num_queries(); ++q) {
+      TopKEntry* row = partial.Row(q);
+      for (Index e = 0; e < k; ++e) {
+        if (row[e].item >= 0) row[e].item = shard.ToGlobal(row[e].item);
+      }
     }
-    rows.push_back(row.data());
   }
-  MergeTopKRows(rows, k, k, out_row);
+  std::vector<const TopKResult*> results;
+  results.reserve(partials.size());
+  for (const TopKResult& partial : partials) results.push_back(&partial);
+  MergeTopKResults(results, k, out);
   stats_.serve_seconds.fetch_add(timer.Seconds(), std::memory_order_relaxed);
-  stats_.new_users_served.fetch_add(1, std::memory_order_relaxed);
+  stats_.new_users_served.fetch_add(num_rows, std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -230,6 +249,8 @@ ShardedMipsEngine::Stats ShardedMipsEngine::stats() const {
     snapshot.decision_cache_evictions += shard.stats.decision_cache_evictions;
     snapshot.decision_cache_expirations +=
         shard.stats.decision_cache_expirations;
+    snapshot.decision_cache_invalidations +=
+        shard.stats.decision_cache_invalidations;
     snapshot.gemm_kernel = shard.stats.gemm_kernel;  // process-global
   }
   return snapshot;

@@ -96,8 +96,20 @@ class ShardedMipsEngine {
   Status TopKAll(Index k, TopKResult* out);
 
   /// Exact global top-K for a user vector outside the prepared user
-  /// matrix.  `out_row` must hold k entries.
+  /// matrix.  `out_row` must hold k entries.  Routed through the one-row
+  /// batched path, so the answer is bit-for-bit the num_rows = 1 case of
+  /// TopKNewUsers below.
   Status TopKNewUser(const Real* user_vector, Index k, TopKEntry* out_row);
+
+  /// Exact global top-K for a mini-batch of new-user vectors
+  /// (`num_rows` x num_factors(), row-major): scatter the whole batch to
+  /// every shard's batched new-user path, remap, k-way merge.  Each row of
+  /// *out is bit-for-bit what TopKNewUser returns for that vector alone —
+  /// the per-shard GEMM computes each (row, item) score independently of
+  /// the other batch rows — which is what lets a serving layer coalesce
+  /// singleton traffic without changing any answer.
+  Status TopKNewUsers(const Real* user_vectors, Index num_rows, Index k,
+                      TopKResult* out);
 
   /// Forces every shard onto the candidate named by solver name or exact
   /// opening spec.  All shards share the same candidate list, so this
@@ -148,6 +160,7 @@ class ShardedMipsEngine {
     int64_t decision_cache_misses = 0;
     int64_t decision_cache_evictions = 0;
     int64_t decision_cache_expirations = 0;
+    int64_t decision_cache_invalidations = 0;
     /// The process-global GEMM micro-kernel every shard's GEMMs dispatch
     /// to ("" when every shard is empty).
     std::string gemm_kernel;

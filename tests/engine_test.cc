@@ -383,6 +383,52 @@ TEST(EngineTest, DecisionTtlExpiresCachedWinners) {
   ExpectSameTopKScores(out, expected, 1e-9);
 }
 
+TEST(EngineTest, KernelReinstallInvalidatesCachedDecisions) {
+  // A mid-flight ForceGemmKernel re-install — even of the kernel that is
+  // already active — means every cached winner was measured under a
+  // throughput regime that no longer provably exists.  The engine must
+  // drop them proactively (counted as invalidations, not TTL
+  // expirations) and re-decide on the next query instead of serving a
+  // possibly-wrong winner until a TTL runs out.
+  const MFModel model = MakeTestModel(120, 60, 6, 41);
+  EngineOptions options = SmallEngineOptions(5);
+  options.solvers = {"bmm", "naive"};
+  auto engine = MipsEngine::Open(ConstRowBlock(model.users),
+                                 ConstRowBlock(model.items), options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  TopKResult out;
+  const std::vector<Index> batch = {0, 1};
+  ASSERT_TRUE((*engine)->TopK(5, batch, &out).ok());
+  MipsEngine::Stats stats = (*engine)->stats();
+  EXPECT_EQ(stats.decision_cache_invalidations, 0);
+  EXPECT_EQ(stats.redecisions, 0);
+
+  ASSERT_TRUE(ForceGemmKernel(ActiveGemmKernel()).ok());
+  ASSERT_TRUE((*engine)->TopK(5, batch, &out).ok());
+  stats = (*engine)->stats();
+  EXPECT_EQ(stats.decision_cache_invalidations, 1);
+  EXPECT_EQ(stats.decision_cache_expirations, 0);
+  EXPECT_EQ(stats.redecisions, 1);
+
+  // The refreshed winner carries the new epoch: an immediate re-query
+  // is a plain hit.
+  const int64_t hits_before = stats.decision_cache_hits;
+  ASSERT_TRUE((*engine)->TopK(5, batch, &out).ok());
+  stats = (*engine)->stats();
+  EXPECT_EQ(stats.decision_cache_invalidations, 1);
+  EXPECT_EQ(stats.decision_cache_hits, hits_before + 1);
+
+  // Results stay exact across the invalidation.
+  BmmSolver reference;
+  ASSERT_TRUE(reference.Prepare(ConstRowBlock(model.users),
+                                ConstRowBlock(model.items)).ok());
+  TopKResult expected;
+  ASSERT_TRUE(reference.TopKForUsers(5, batch, &expected).ok());
+  ExpectSameTopKScores(out, expected, 1e-9);
+  ResetGemmKernelForTest();
+}
+
 TEST(EngineTest, DecisionTtlIgnoredWhenRedecideImpossible) {
   // With re-deciding disabled (or a single candidate) there is nothing
   // to refresh a stale winner with, so the TTL must be inert: no
