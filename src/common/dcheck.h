@@ -1,0 +1,89 @@
+// MIPS_DCHECK: debug-build invariant checks for the hot paths.
+//
+// Release serving binaries must not pay for invariant checks in the
+// inner loops (heap pushes, GEMM tile setup, queue accounting), but the
+// sanitizer and debug CI legs should fail loudly the moment an invariant
+// breaks — close to the cause, not three layers later as a wrong answer
+// or an ASan report in unrelated code.  MIPS_DCHECK* compile to nothing
+// unless MIPS_ENABLE_DCHECKS is defined (CMake option of the same name;
+// the ASan/UBSan CI leg and any -fsanitize build default it on), so they
+// can sit on paths far too hot for an always-on check.
+//
+//   MIPS_DCHECK(ptr != nullptr);
+//   MIPS_DCHECK_LT(local, num_items);   // prints both operand values
+//
+// Policy: DCHECK programmer invariants (index maps in range, tile shapes
+// within the register kernel, conservation laws like the batching
+// queue's row accounting).  Never DCHECK caller input — user-facing
+// validation stays a Status so it is enforced in release builds too.
+//
+// A failed check prints file:line, the expression, and (for the
+// comparison forms) both operand values, then aborts — which the CI
+// sanitizer leg reports as the test failure.
+
+#ifndef MIPS_COMMON_DCHECK_H_
+#define MIPS_COMMON_DCHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace mips {
+namespace internal {
+
+[[noreturn]] inline void DcheckFailure(const char* file, int line,
+                                       const char* expression,
+                                       const std::string& values) {
+  std::fprintf(stderr, "DCHECK failed at %s:%d: %s%s\n", file, line,
+               expression, values.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+template <typename A, typename B>
+[[noreturn]] void DcheckOpFailure(const char* file, int line,
+                                  const char* expression, const A& lhs,
+                                  const B& rhs) {
+  std::ostringstream values;
+  values << " (lhs = " << lhs << ", rhs = " << rhs << ")";
+  DcheckFailure(file, line, expression, values.str());
+}
+
+}  // namespace internal
+}  // namespace mips
+
+#ifdef MIPS_ENABLE_DCHECKS
+
+#define MIPS_DCHECK(condition)                                       \
+  ((condition) ? static_cast<void>(0)                                \
+               : ::mips::internal::DcheckFailure(__FILE__, __LINE__, \
+                                                 #condition, ""))
+
+#define MIPS_DCHECK_OP_IMPL(op, lhs, rhs)                              \
+  (((lhs)op(rhs)) ? static_cast<void>(0)                               \
+                  : ::mips::internal::DcheckOpFailure(                 \
+                        __FILE__, __LINE__, #lhs " " #op " " #rhs,     \
+                        (lhs), (rhs)))
+
+#else  // !MIPS_ENABLE_DCHECKS
+
+// The dead-branch form type-checks the expression (so a refactor cannot
+// silently rot a disabled check and operands never trigger -Wunused)
+// while generating no code and evaluating nothing.
+#define MIPS_DCHECK(condition) \
+  (false ? static_cast<void>(condition) : static_cast<void>(0))
+
+#define MIPS_DCHECK_OP_IMPL(op, lhs, rhs) \
+  (false ? static_cast<void>((lhs)op(rhs)) : static_cast<void>(0))
+
+#endif  // MIPS_ENABLE_DCHECKS
+
+#define MIPS_DCHECK_EQ(lhs, rhs) MIPS_DCHECK_OP_IMPL(==, lhs, rhs)
+#define MIPS_DCHECK_NE(lhs, rhs) MIPS_DCHECK_OP_IMPL(!=, lhs, rhs)
+#define MIPS_DCHECK_LT(lhs, rhs) MIPS_DCHECK_OP_IMPL(<, lhs, rhs)
+#define MIPS_DCHECK_LE(lhs, rhs) MIPS_DCHECK_OP_IMPL(<=, lhs, rhs)
+#define MIPS_DCHECK_GT(lhs, rhs) MIPS_DCHECK_OP_IMPL(>, lhs, rhs)
+#define MIPS_DCHECK_GE(lhs, rhs) MIPS_DCHECK_OP_IMPL(>=, lhs, rhs)
+
+#endif  // MIPS_COMMON_DCHECK_H_

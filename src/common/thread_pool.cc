@@ -1,6 +1,9 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
+
+#include "common/dcheck.h"
 
 namespace mips {
 
@@ -14,36 +17,53 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::unique_lock<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutting_down_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
+  // Workers drain the queue before exiting (WorkerLoop only returns on
+  // shutting_down_ AND an empty queue), so join implies every task
+  // submitted before this destructor began has run.
   for (auto& w : workers_) w.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    queue_.push(std::move(task));
+    MutexLock lock(mu_);
+    if (!shutting_down_) {
+      queue_.push(std::move(task));
+      task = nullptr;
+    }
+    // Shutdown already began: fall through and run inline below, outside
+    // the lock.  The workers are retiring, so an enqueued task could be
+    // stranded after the last worker checks the queue.
   }
-  work_available_.notify_one();
+  if (task != nullptr) {
+    task();
+    return;
+  }
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  all_idle_.wait(lock, [this]() { return queue_.empty() && in_flight_ == 0; });
+  MutexLock lock(mu_);
+  while (!queue_.empty() || in_flight_ != 0) {
+    all_idle_.Wait(lock);
+  }
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_available_.wait(
-          lock, [this]() { return shutting_down_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutting_down_ && queue_.empty()) {
+        work_available_.Wait(lock);
+      }
       if (queue_.empty()) {
-        if (shutting_down_) return;
-        continue;
+        // shutting_down_ must hold: the wait above only exits on work or
+        // shutdown.
+        return;
       }
       task = std::move(queue_.front());
       queue_.pop();
@@ -51,9 +71,10 @@ void ThreadPool::WorkerLoop() {
     }
     task();
     {
-      std::unique_lock<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       --in_flight_;
-      if (queue_.empty() && in_flight_ == 0) all_idle_.notify_all();
+      MIPS_DCHECK_GE(in_flight_, 0);
+      if (queue_.empty() && in_flight_ == 0) all_idle_.NotifyAll();
     }
   }
 }

@@ -10,18 +10,32 @@
 #ifndef MIPS_COMMON_THREAD_POOL_H_
 #define MIPS_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace mips {
 
 /// A minimal fixed-size worker pool.  Tasks are std::function<void()>;
 /// Wait() blocks until every submitted task has finished.
+///
+/// Lifecycle contract (the guarantees the work-stealing refactor on the
+/// ROADMAP must preserve, locked in by common_test's lifecycle suite):
+///
+///   * Destruction drains: every task submitted before ~ThreadPool runs
+///     to completion before the destructor returns.
+///   * Wait() is idempotent — calling it again (even immediately) just
+///     re-checks the idle condition and returns.
+///   * Submit() during shutdown is defined, not a race: once the
+///     destructor has begun, a concurrent Submit runs the task inline on
+///     the submitting thread instead of enqueueing it (the worker set is
+///     retiring, so enqueueing could strand the task and hang a later
+///     Wait).  Either way the task is executed exactly once.
 class ThreadPool {
  public:
   /// Spawns `num_threads` workers (at least 1).
@@ -31,24 +45,27 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task for execution on some worker.
-  void Submit(std::function<void()> task);
+  /// Enqueues a task for execution on some worker (inline on the caller
+  /// once shutdown has begun; see the class comment).
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
-  /// Blocks until the queue is empty and all workers are idle.
-  void Wait();
+  /// Blocks until the queue is empty and all workers are idle.  Must not
+  /// be called from inside a pool task (the task waiting on its own pool
+  /// can never observe itself finished — deadlock).
+  void Wait() EXCLUDES(mu_);
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() EXCLUDES(mu_);
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
-  std::mutex mu_;
-  std::condition_variable work_available_;
-  std::condition_variable all_idle_;
-  int in_flight_ = 0;
-  bool shutting_down_ = false;
+  Mutex mu_;
+  CondVar work_available_;
+  CondVar all_idle_;
+  std::queue<std::function<void()>> queue_ GUARDED_BY(mu_);
+  int in_flight_ GUARDED_BY(mu_) = 0;
+  bool shutting_down_ GUARDED_BY(mu_) = false;
 };
 
 /// Contiguous half-open chunk of a parallel iteration space.

@@ -3,7 +3,7 @@
 namespace mips {
 
 void StageTimer::Add(const std::string& name, double seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& [stage, total] : stages_) {
     if (stage == name) {
       total += seconds;
@@ -14,7 +14,7 @@ void StageTimer::Add(const std::string& name, double seconds) {
 }
 
 double StageTimer::Get(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [stage, total] : stages_) {
     if (stage == name) return total;
   }
@@ -22,19 +22,19 @@ double StageTimer::Get(const std::string& name) const {
 }
 
 double StageTimer::Total() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   double sum = 0.0;
   for (const auto& [stage, total] : stages_) sum += total;
   return sum;
 }
 
 std::vector<std::pair<std::string, double>> StageTimer::stages() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stages_;
 }
 
 void StageTimer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   stages_.clear();
 }
 

@@ -9,10 +9,12 @@
 #define MIPS_COMMON_TIMER_H_
 
 #include <chrono>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace mips {
 
@@ -44,7 +46,7 @@ class WallTimer {
 class StageTimer {
  public:
   /// Adds `seconds` to stage `name` (creating it on first use).
-  void Add(const std::string& name, double seconds);
+  void Add(const std::string& name, double seconds) EXCLUDES(mu_);
 
   /// Runs `fn()` and charges its wall time to stage `name`.
   template <typename Fn>
@@ -61,19 +63,19 @@ class StageTimer {
   }
 
   /// Total over stage `name`; 0 if the stage never ran.
-  double Get(const std::string& name) const;
+  double Get(const std::string& name) const EXCLUDES(mu_);
 
   /// Sum over all stages.
-  double Total() const;
+  double Total() const EXCLUDES(mu_);
 
   /// Snapshot of (name, seconds) pairs in first-use order.
-  std::vector<std::pair<std::string, double>> stages() const;
+  std::vector<std::pair<std::string, double>> stages() const EXCLUDES(mu_);
 
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<std::pair<std::string, double>> stages_;
+  mutable Mutex mu_;
+  std::vector<std::pair<std::string, double>> stages_ GUARDED_BY(mu_);
 };
 
 }  // namespace mips

@@ -3,8 +3,9 @@
 #include <algorithm>
 #include <bit>
 #include <limits>
-#include <mutex>
 #include <numeric>
+
+#include "common/mutex.h"
 
 #include "common/timer.h"
 #include "core/dynamic_maximus.h"
@@ -131,7 +132,10 @@ StatusOr<std::unique_ptr<MipsEngine>> MipsEngine::Open(
     engine->report_.gemm_kernel = ToString(ActiveGemmKernel());
     engine->report_.construction_seconds = build_seconds[0];
     engine->report_.total_seconds = build_wall_seconds;
-    engine->InsertDecision(engine->OpeningKey(), 0);
+    {
+      WriterMutexLock lock(engine->decision_mu_);
+      engine->InsertDecision(engine->OpeningKey(), 0);
+    }
     return engine;
   }
 
@@ -152,7 +156,10 @@ StatusOr<std::unique_ptr<MipsEngine>> MipsEngine::Open(
     engine->report_.construction_seconds += build_seconds[s];
   }
   engine->report_.total_seconds += build_wall_seconds;
-  engine->InsertDecision(engine->OpeningKey(), winner);
+  {
+    WriterMutexLock lock(engine->decision_mu_);
+    engine->InsertDecision(engine->OpeningKey(), winner);
+  }
   return engine;
 }
 
@@ -215,7 +222,7 @@ StatusOr<std::size_t> MipsEngine::StrategyFor(Index k, Index batch_rows) {
   if (forced != kNoForcedStrategy) return forced;
   const DecisionKey key{k, ShapeBucket(batch_rows)};
   {
-    std::shared_lock<std::shared_mutex> lock(decision_mu_);
+    ReaderMutexLock lock(decision_mu_);
     auto it = winner_by_k_.find(key);
     if (it != winner_by_k_.end() && !DecisionExpired(it->second)) {
       // Recency bump under the shared lock: a relaxed store into the
@@ -248,7 +255,7 @@ StatusOr<std::size_t> MipsEngine::StrategyFor(Index k, Index batch_rows) {
   // singletons picked an index.  The exclusive lock serializes
   // concurrent first-queries of the same new key: one caller measures,
   // the rest (re-checking under the lock) reuse its cached winner.
-  std::unique_lock<std::shared_mutex> lock(decision_mu_);
+  WriterMutexLock lock(decision_mu_);
   bool expired = false;
   bool invalidated = false;
   {
@@ -434,7 +441,7 @@ void MipsEngine::ClearForcedStrategy() {
 const std::string& MipsEngine::strategy() const {
   const std::size_t forced = forced_.load(std::memory_order_acquire);
   if (forced != kNoForcedStrategy) return names_[forced];
-  std::shared_lock<std::shared_mutex> lock(decision_mu_);
+  ReaderMutexLock lock(decision_mu_);
   return names_[winner_by_k_.at(OpeningKey()).winner];
 }
 
@@ -460,7 +467,7 @@ MipsEngine::Stats MipsEngine::stats() const {
       stats_.decision_cache_invalidations.load(std::memory_order_relaxed);
   snapshot.gemm_kernel = ToString(ActiveGemmKernel());
   {
-    std::shared_lock<std::shared_mutex> lock(decision_mu_);
+    ReaderMutexLock lock(decision_mu_);
     snapshot.decision_cache_size =
         static_cast<int64_t>(winner_by_k_.size());
   }

@@ -49,11 +49,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "core/optimus.h"
 #include "solvers/solver.h"
@@ -180,7 +181,7 @@ class MipsEngine {
 
   /// Name of the strategy serving the engine's decision k right now
   /// (the forced strategy when one is set).
-  const std::string& strategy() const;
+  const std::string& strategy() const EXCLUDES(decision_mu_);
   /// The opening decision trace (empty estimates for single-candidate
   /// engines).
   const OptimusReport& decision_report() const { return report_; }
@@ -229,7 +230,7 @@ class MipsEngine {
     /// decision in this engine was measured under.
     std::string gemm_kernel;
   };
-  Stats stats() const;
+  Stats stats() const EXCLUDES(decision_mu_);
 
  private:
   MipsEngine() = default;
@@ -247,13 +248,16 @@ class MipsEngine {
   /// (decides and caches on a miss).  Lock-free-ish hot path: shared
   /// lock on a cache hit, exclusive lock (serializing the decision) on a
   /// miss, a TTL-expired winner, or a kernel-epoch-invalidated winner.
-  StatusOr<std::size_t> StrategyFor(Index k, Index batch_rows);
+  StatusOr<std::size_t> StrategyFor(Index k, Index batch_rows)
+      EXCLUDES(decision_mu_);
 
   struct CachedDecision;
   /// Whether `entry` outlived decision_ttl_seconds or was measured under
   /// a GEMM kernel that has since been re-installed (always false when
-  /// re-deciding is impossible).
-  bool DecisionExpired(const CachedDecision& entry) const;
+  /// re-deciding is impossible).  `entry` points into winner_by_k_, so
+  /// the caller must hold decision_mu_ at least shared.
+  bool DecisionExpired(const CachedDecision& entry) const
+      REQUIRES_SHARED(decision_mu_);
 
   /// Dense-scoring fallback for new-user batches: one blocked GEMM over
   /// the items per score-block chunk + per-row top-K.  Used for every
@@ -298,14 +302,15 @@ class MipsEngine {
   /// Guards winner_by_k_.  Shared: cache lookups.  Exclusive: inserting
   /// the winner for a new key (held across DecidePrepared so one decision
   /// runs at a time and latecomers reuse its result) and evicting.
-  mutable std::shared_mutex decision_mu_;
-  std::map<DecisionKey, CachedDecision> winner_by_k_;
+  mutable SharedMutex decision_mu_;
+  std::map<DecisionKey, CachedDecision> winner_by_k_
+      GUARDED_BY(decision_mu_);
   std::atomic<uint64_t> decision_clock_{0};
 
   /// Caches `winner` for `key`, evicting the least-recently-used
-  /// non-pinned entries while the cache exceeds capacity.  Caller holds
-  /// decision_mu_ exclusively.
-  void InsertDecision(DecisionKey key, std::size_t winner);
+  /// non-pinned entries while the cache exceeds capacity.
+  void InsertDecision(DecisionKey key, std::size_t winner)
+      REQUIRES(decision_mu_);
 
   std::atomic<std::size_t> forced_{kNoForcedStrategy};
   OptimusReport report_;

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <vector>
 
+#include "common/dcheck.h"
 #include "common/thread_pool.h"
 #include "linalg/blas.h"
 #include "linalg/gemm_kernel.h"
@@ -29,6 +30,9 @@ constexpr Index kNC = 2048;
 // so the micro-kernel never needs an M edge case.
 void PackA(const Real* a, Index lda, Index i0, Index mb, Index p0, Index kb,
            Real* dst) {
+  MIPS_DCHECK_GT(mb, 0);
+  MIPS_DCHECK_GT(kb, 0);
+  MIPS_DCHECK_LE(p0 + kb, lda);
   for (Index ip = 0; ip < mb; ip += kMR) {
     const Index mr = std::min(kMR, mb - ip);
     for (Index kk = 0; kk < kb; ++kk) {
@@ -46,6 +50,9 @@ void PackA(const Real* a, Index lda, Index i0, Index mb, Index p0, Index kb,
 // into NR-wide panels: dst[panel][kk][nr], zero-padding the N edge.
 void PackB(const Real* b, Index ldb, Index j0, Index nb, Index p0, Index kb,
            Real* dst) {
+  MIPS_DCHECK_GT(nb, 0);
+  MIPS_DCHECK_GT(kb, 0);
+  MIPS_DCHECK_LE(p0 + kb, ldb);
   for (Index jp = 0; jp < nb; jp += kNR) {
     const Index nr = std::min(kNR, nb - jp);
     for (Index kk = 0; kk < kb; ++kk) {
@@ -72,6 +79,14 @@ void PackB(const Real* b, Index ldb, Index j0, Index nb, Index p0, Index kb,
 void MicroKernelEdge(GemmMicroKernelFn full, const Real* __restrict ap,
                      const Real* __restrict bp, Index kb, Real alpha,
                      Real* __restrict c, Index ldc, Index mr, Index nr) {
+  // The scratch tile is exactly MR x NR; an oversized (mr, nr) here would
+  // read past the packed panels and write past scratch.
+  MIPS_DCHECK_GT(mr, 0);
+  MIPS_DCHECK_LE(mr, kMR);
+  MIPS_DCHECK_GT(nr, 0);
+  MIPS_DCHECK_LE(nr, kNR);
+  MIPS_DCHECK_GT(kb, 0);
+  MIPS_DCHECK_GE(ldc, nr);
   alignas(64) Real scratch[kMR * kNR] = {};
   for (Index i = 0; i < mr; ++i) {
     std::memcpy(scratch + i * kNR, c + static_cast<std::size_t>(i) * ldc,

@@ -5,11 +5,12 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/log.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "linalg/gemm_kernel.h"
 
 namespace mips {
@@ -41,8 +42,8 @@ std::atomic<int> g_active_kernel{static_cast<int>(GemmKernel::kPortable)};
 std::atomic<int> g_active_source{static_cast<int>(GemmKernelSource::kProbe)};
 
 /// Serializes installs; also guards g_install_probe.
-std::mutex g_install_mu;
-GemmKernelProbe g_install_probe;
+Mutex g_install_mu;
+GemmKernelProbe g_install_probe GUARDED_BY(g_install_mu);
 
 /// Bumped on every install (see GemmKernelEpoch in the header).
 std::atomic<uint64_t> g_install_epoch{0};
@@ -119,9 +120,8 @@ GemmKernelProbe SupportOnlyProbe(GemmKernel chosen) {
   return probe;
 }
 
-/// Caller holds g_install_mu.
 void InstallLocked(GemmKernel kernel, GemmKernelSource source,
-                   const GemmKernelProbe& probe) {
+                   const GemmKernelProbe& probe) REQUIRES(g_install_mu) {
   g_install_probe = probe;
   g_active_source.store(static_cast<int>(source), std::memory_order_relaxed);
   g_active_kernel.store(static_cast<int>(kernel), std::memory_order_relaxed);
@@ -132,7 +132,7 @@ void InstallLocked(GemmKernel kernel, GemmKernelSource source,
 GemmMicroKernelFn EnsureInstalled() {
   GemmMicroKernelFn fn = g_active_fn.load(std::memory_order_acquire);
   if (fn != nullptr) return fn;
-  std::lock_guard<std::mutex> lock(g_install_mu);
+  MutexLock lock(g_install_mu);
   fn = g_active_fn.load(std::memory_order_relaxed);
   if (fn != nullptr) return fn;
 
@@ -213,7 +213,7 @@ Status ForceGemmKernel(GemmKernel kernel) {
         (compiled ? "\" is not supported by this CPU"
                   : "\" was not compiled into this binary"));
   }
-  std::lock_guard<std::mutex> lock(g_install_mu);
+  MutexLock lock(g_install_mu);
   InstallLocked(kernel, GemmKernelSource::kForced, SupportOnlyProbe(kernel));
   return Status::OK();
 }
@@ -226,7 +226,7 @@ GemmKernelSource ActiveGemmKernelSource() {
 
 GemmKernelProbe ActiveGemmKernelProbe() {
   EnsureInstalled();
-  std::lock_guard<std::mutex> lock(g_install_mu);
+  MutexLock lock(g_install_mu);
   return g_install_probe;
 }
 
@@ -235,7 +235,7 @@ uint64_t GemmKernelEpoch() {
 }
 
 void ResetGemmKernelForTest() {
-  std::lock_guard<std::mutex> lock(g_install_mu);
+  MutexLock lock(g_install_mu);
   g_install_probe = GemmKernelProbe();
   g_active_source.store(static_cast<int>(GemmKernelSource::kProbe),
                         std::memory_order_relaxed);

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "common/dcheck.h"
 #include "common/timer.h"
 #include "core/engine.h"
 #include "shard/sharded_engine.h"
@@ -113,11 +114,11 @@ StatusOr<std::unique_ptr<BatchingEngine>> BatchingEngine::Create(
 
 BatchingEngine::~BatchingEngine() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  cv_work_.notify_all();
-  cv_space_.notify_all();
+  cv_work_.NotifyAll();
+  cv_space_.NotifyAll();
   if (dispatcher_.joinable()) dispatcher_.join();
   // The dispatcher drained pending_ into ready_ and raised
   // executors_done_ before exiting; executors finish ready_ and return.
@@ -155,7 +156,7 @@ std::future<Status> BatchingEngine::SubmitNewUser(const Real* user_vector,
   req.vector.assign(user_vector, user_vector + num_factors_);
   std::future<Status> future = req.promise.get_future();
 
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++stats_.submitted;
   if (stopping_) {
     ++stats_.shed;
@@ -186,18 +187,26 @@ std::future<Status> BatchingEngine::SubmitNewUser(const Real* user_vector,
         break;
       case OverloadPolicy::kBlock: {
         ++stats_.blocked;
-        const auto have_room = [this] {
-          return stopping_ || outstanding_rows_ < options_.max_queue_rows;
-        };
-        if (req.has_deadline) {
-          if (!cv_space_.wait_until(lock, req.deadline, have_room)) {
-            ++stats_.expired;
-            req.promise.set_value(Status::DeadlineExceeded(
-                "deadline elapsed while blocked at admission"));
-            return future;
+        // Explicit predicate loop (common/mutex.h): wait for room or
+        // shutdown, bounded by the request's deadline when it has one.
+        bool timed_out = false;
+        while (!stopping_ && outstanding_rows_ >= options_.max_queue_rows) {
+          if (req.has_deadline) {
+            if (cv_space_.WaitUntil(lock, req.deadline) ==
+                std::cv_status::timeout) {
+              timed_out = !stopping_ &&
+                          outstanding_rows_ >= options_.max_queue_rows;
+              break;
+            }
+          } else {
+            cv_space_.Wait(lock);
           }
-        } else {
-          cv_space_.wait(lock, have_room);
+        }
+        if (timed_out) {
+          ++stats_.expired;
+          req.promise.set_value(Status::DeadlineExceeded(
+              "deadline elapsed while blocked at admission"));
+          return future;
         }
         if (stopping_) {
           ++stats_.shed;
@@ -214,7 +223,8 @@ std::future<Status> BatchingEngine::SubmitNewUser(const Real* user_vector,
       std::max(stats_.max_queue_rows_observed, outstanding_rows_);
   ++pending_rows_by_k_[k];
   pending_.push_back(std::move(req));
-  cv_work_.notify_one();
+  MIPS_DCHECK_EQ(outstanding_rows_, TrackedRowsLocked());
+  cv_work_.NotifyOne();
   return future;
 }
 
@@ -224,11 +234,11 @@ Status BatchingEngine::TopKNewUser(const Real* user_vector, Index k,
 }
 
 void BatchingEngine::Flush() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (pending_.empty()) return;
   flush_requested_ = true;
-  cv_work_.notify_one();
-  cv_flush_.wait(lock, [this] { return !flush_requested_; });
+  cv_work_.NotifyOne();
+  while (flush_requested_) cv_flush_.Wait(lock);
 }
 
 Index BatchingEngine::PurgeExpiredLocked(Clock::time_point now) {
@@ -238,6 +248,7 @@ Index BatchingEngine::PurgeExpiredLocked(Clock::time_point now) {
       it->promise.set_value(
           Status::DeadlineExceeded("deadline elapsed while queued"));
       auto group = pending_rows_by_k_.find(it->k);
+      MIPS_DCHECK(group != pending_rows_by_k_.end());
       if (--group->second == 0) pending_rows_by_k_.erase(group);
       --outstanding_rows_;
       ++stats_.expired;
@@ -247,7 +258,8 @@ Index BatchingEngine::PurgeExpiredLocked(Clock::time_point now) {
       ++it;
     }
   }
-  if (purged > 0) cv_space_.notify_all();
+  MIPS_DCHECK_EQ(outstanding_rows_, TrackedRowsLocked());
+  if (purged > 0) cv_space_.NotifyAll();
   return purged;
 }
 
@@ -272,17 +284,22 @@ void BatchingEngine::AssembleLocked(Index k, int64_t* flush_counter) {
   }
   const Index rows = static_cast<Index>(batch.requests.size());
   auto group = pending_rows_by_k_.find(k);
-  if ((group->second -= rows) == 0) pending_rows_by_k_.erase(group);
+  MIPS_DCHECK(group != pending_rows_by_k_.end());
+  MIPS_DCHECK_GE(group->second, rows);
+  group->second -= rows;
+  if (group->second == 0) pending_rows_by_k_.erase(group);
   ++stats_.batches_dispatched;
   ++*flush_counter;
   ++stats_.batch_size_histogram[rows];
   ready_.push_back(std::move(batch));
-  cv_ready_.notify_one();
+  MIPS_DCHECK_EQ(outstanding_rows_, TrackedRowsLocked());
+  cv_ready_.NotifyOne();
 }
 
 void BatchingEngine::DispatcherLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
+    MIPS_DCHECK_EQ(outstanding_rows_, TrackedRowsLocked());
     const Clock::time_point now = Clock::now();
     PurgeExpiredLocked(now);
 
@@ -307,7 +324,7 @@ void BatchingEngine::DispatcherLoop() {
     }
     if (flush_requested_) {
       flush_requested_ = false;
-      cv_flush_.notify_all();
+      cv_flush_.NotifyAll();
     }
     if (stopping_) break;
 
@@ -328,30 +345,31 @@ void BatchingEngine::DispatcherLoop() {
       if (req.has_deadline) wake = std::min(wake, req.deadline);
     }
     if (wake == Clock::time_point::max()) {
-      cv_work_.wait(lock);
+      cv_work_.Wait(lock);
     } else {
-      cv_work_.wait_until(lock, wake);
+      cv_work_.WaitUntil(lock, wake);
     }
   }
   executors_done_ = true;
-  cv_ready_.notify_all();
-  cv_flush_.notify_all();
+  cv_ready_.NotifyAll();
+  cv_flush_.NotifyAll();
 }
 
 void BatchingEngine::ExecutorLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
-    cv_ready_.wait(lock,
-                   [this] { return executors_done_ || !ready_.empty(); });
+    while (!executors_done_ && ready_.empty()) cv_ready_.Wait(lock);
     if (ready_.empty()) {
-      if (executors_done_) return;
-      continue;
+      // executors_done_ must hold: the wait above only exits on a ready
+      // batch or the dispatcher's final signal.
+      return;
     }
     Batch batch = std::move(ready_.front());
     ready_.pop_front();
-    lock.unlock();
+    executing_rows_ += static_cast<Index>(batch.requests.size());
+    lock.Unlock();
     ExecuteBatch(std::move(batch));
-    lock.lock();
+    lock.Lock();
   }
 }
 
@@ -379,12 +397,16 @@ void BatchingEngine::ExecuteBatch(Batch batch) {
     }
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
+    MIPS_DCHECK_GE(executing_rows_, rows);
+    MIPS_DCHECK_GE(outstanding_rows_, rows);
+    executing_rows_ -= rows;
     outstanding_rows_ -= rows;
+    MIPS_DCHECK_EQ(outstanding_rows_, TrackedRowsLocked());
     stats_.backend_seconds += backend_seconds;
     if (status.ok()) stats_.served += rows;
   }
-  cv_space_.notify_all();
+  cv_space_.NotifyAll();
   // Resolve promises after capacity is released: a caller woken by its
   // future can immediately re-submit and find the row it freed.
   for (Request& req : batch.requests) {
@@ -392,8 +414,20 @@ void BatchingEngine::ExecuteBatch(Batch batch) {
   }
 }
 
+Index BatchingEngine::TrackedRowsLocked() const {
+  // The per-k index is a view over pending_; they must never disagree.
+  Index by_k = 0;
+  for (const auto& [k, count] : pending_rows_by_k_) by_k += count;
+  MIPS_DCHECK_EQ(by_k, static_cast<Index>(pending_.size()));
+  Index rows = static_cast<Index>(pending_.size());
+  for (const Batch& batch : ready_) {
+    rows += static_cast<Index>(batch.requests.size());
+  }
+  return rows + executing_rows_;
+}
+
 BatchingEngine::Stats BatchingEngine::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Stats snapshot = stats_;
   snapshot.queue_rows = outstanding_rows_;
   return snapshot;

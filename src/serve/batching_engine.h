@@ -57,18 +57,18 @@
 #define MIPS_SERVE_BATCHING_ENGINE_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/types.h"
 #include "topk/result.h"
 
@@ -138,16 +138,17 @@ class BatchingEngine {
   /// options.default_deadline_ms.
   std::future<Status> SubmitNewUser(const Real* user_vector, Index k,
                                     TopKEntry* out_row,
-                                    double deadline_ms = 0);
+                                    double deadline_ms = 0) EXCLUDES(mu_);
 
   /// Synchronous wrapper: Submit + wait.  Drop-in for
   /// MipsEngine::TopKNewUser, but coalesced with concurrent callers.
-  Status TopKNewUser(const Real* user_vector, Index k, TopKEntry* out_row);
+  Status TopKNewUser(const Real* user_vector, Index k, TopKEntry* out_row)
+      EXCLUDES(mu_);
 
   /// Dispatches everything currently pending (in max_batch_rows chunks)
   /// without waiting out max_wait, and returns once the pending queue
   /// has been handed to executors (not necessarily completed).
-  void Flush();
+  void Flush() EXCLUDES(mu_);
 
   /// Cumulative counters + a snapshot of current queue state.  All
   /// counters are in requests (rows) unless named otherwise.
@@ -180,7 +181,7 @@ class BatchingEngine {
     /// rows; mean delay = queue_wait_seconds / served.
     double queue_wait_seconds = 0;
   };
-  Stats stats() const;
+  Stats stats() const EXCLUDES(mu_);
 
   const BatchingOptions& options() const { return options_; }
   Index num_factors() const { return num_factors_; }
@@ -203,33 +204,46 @@ class BatchingEngine {
   BatchingEngine(Backend backend, Index num_factors,
                  const BatchingOptions& options);
 
-  void DispatcherLoop();
-  void ExecutorLoop();
-  /// Resolves expired pending requests with DeadlineExceeded.  Caller
-  /// holds mu_.  Returns the number purged.
-  Index PurgeExpiredLocked(std::chrono::steady_clock::time_point now);
+  void DispatcherLoop() EXCLUDES(mu_);
+  void ExecutorLoop() EXCLUDES(mu_);
+  /// Resolves expired pending requests with DeadlineExceeded.  Returns
+  /// the number purged.
+  Index PurgeExpiredLocked(std::chrono::steady_clock::time_point now)
+      REQUIRES(mu_);
   /// Moves up to max_batch_rows pending requests with key `k` (arrival
-  /// order) into a Batch on ready_.  Caller holds mu_.
-  void AssembleLocked(Index k, int64_t* flush_counter);
-  void ExecuteBatch(Batch batch);
+  /// order) into a Batch on ready_.
+  void AssembleLocked(Index k, int64_t* flush_counter) REQUIRES(mu_);
+  void ExecuteBatch(Batch batch) EXCLUDES(mu_);
+  /// Rows currently tracked by the queue structures: pending + assembled
+  /// (ready_) + executing.  The admission ledger invariant — this sum
+  /// always equals outstanding_rows_ — is DCHECKed at every accounting
+  /// step (debug/sanitizer builds).
+  Index TrackedRowsLocked() const REQUIRES(mu_);
 
   Backend backend_;
   Index num_factors_ = 0;
   BatchingOptions options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_work_;   // dispatcher: pending changed
-  std::condition_variable cv_ready_;  // executors: ready batch available
-  std::condition_variable cv_space_;  // blocked admitters: rows completed
-  std::condition_variable cv_flush_;  // Flush(): pending drained
-  std::deque<Request> pending_;
-  std::map<Index, Index> pending_rows_by_k_;
-  std::deque<Batch> ready_;
-  Index outstanding_rows_ = 0;
-  bool flush_requested_ = false;
-  bool stopping_ = false;       // no new admissions; dispatcher drains
-  bool executors_done_ = false;  // ready_ is final; executors may exit
-  Stats stats_;
+  mutable Mutex mu_;
+  CondVar cv_work_;   // dispatcher: pending changed
+  CondVar cv_ready_;  // executors: ready batch available
+  CondVar cv_space_;  // blocked admitters: rows completed
+  CondVar cv_flush_;  // Flush(): pending drained
+  std::deque<Request> pending_ GUARDED_BY(mu_);
+  std::map<Index, Index> pending_rows_by_k_ GUARDED_BY(mu_);
+  std::deque<Batch> ready_ GUARDED_BY(mu_);
+  /// Admission ledger: rows admitted and not yet resolved
+  /// (= pending + assembled + executing; see TrackedRowsLocked).
+  Index outstanding_rows_ GUARDED_BY(mu_) = 0;
+  /// Rows inside batches executors have taken off ready_ and not yet
+  /// completed (the "executing" term of the ledger).
+  Index executing_rows_ GUARDED_BY(mu_) = 0;
+  bool flush_requested_ GUARDED_BY(mu_) = false;
+  /// No new admissions; dispatcher drains.
+  bool stopping_ GUARDED_BY(mu_) = false;
+  /// ready_ is final; executors may exit.
+  bool executors_done_ GUARDED_BY(mu_) = false;
+  Stats stats_ GUARDED_BY(mu_);
 
   std::thread dispatcher_;
   std::vector<std::thread> executors_;

@@ -89,6 +89,8 @@ StatusOr<ItemPartition> ItemPartition::Create(const ConstRowBlock& items,
 }
 
 int ItemPartition::ShardOfItem(Index global_id) const {
+  MIPS_DCHECK_GE(global_id, 0);
+  MIPS_DCHECK_LT(global_id, num_items_);
   if (strategy_ == ShardingStrategy::kHash) {
     return HashShardOfItem(global_id, num_shards());
   }
@@ -99,7 +101,7 @@ int ItemPartition::ShardOfItem(Index global_id) const {
       return s;
     }
   }
-  return -1;  // out-of-range id
+  return -1;  // unreachable for in-range ids (DCHECKed above)
 }
 
 }  // namespace mips

@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "common/dcheck.h"
 #include "common/status.h"
 #include "linalg/matrix.h"
 
@@ -52,7 +53,12 @@ struct ItemShard {
   std::vector<Index> global_ids;
 
   Index num_items() const { return items.rows(); }
+  /// Precondition: 0 <= local < num_items() (DCHECKed — a local id from
+  /// one shard remapped through another is the classic sharding bug, and
+  /// under kHash it reads out of the global_ids vector's bounds).
   Index ToGlobal(Index local) const {
+    MIPS_DCHECK_GE(local, 0);
+    MIPS_DCHECK_LT(local, num_items());
     return global_ids.empty() ? local + global_offset
                               : global_ids[static_cast<std::size_t>(local)];
   }
@@ -90,6 +96,7 @@ class ItemPartition {
   Index num_items() const { return num_items_; }
 
   /// Inverse map: the shard owning a global item id.
+  /// Precondition: 0 <= global_id < num_items() (DCHECKed).
   int ShardOfItem(Index global_id) const;
 
  private:

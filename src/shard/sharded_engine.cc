@@ -113,10 +113,12 @@ Status ShardedMipsEngine::TopK(Index k, std::span<const Index> user_ids,
   }
   WallTimer timer;
   MIPS_RETURN_IF_ERROR(ScatterGather(k, user_ids, out));
-  stats_.serve_seconds.fetch_add(timer.Seconds(), std::memory_order_relaxed);
-  stats_.batches_served.fetch_add(1, std::memory_order_relaxed);
-  stats_.users_served.fetch_add(static_cast<int64_t>(user_ids.size()),
-                                std::memory_order_relaxed);
+  {
+    MutexLock lock(stats_mu_);
+    counters_.serve_seconds += timer.Seconds();
+    counters_.batches_served += 1;
+    counters_.users_served += static_cast<int64_t>(user_ids.size());
+  }
   return Status::OK();
 }
 
@@ -171,8 +173,11 @@ Status ShardedMipsEngine::TopKNewUsers(const Real* user_vectors,
   results.reserve(partials.size());
   for (const TopKResult& partial : partials) results.push_back(&partial);
   MergeTopKResults(results, k, out);
-  stats_.serve_seconds.fetch_add(timer.Seconds(), std::memory_order_relaxed);
-  stats_.new_users_served.fetch_add(num_rows, std::memory_order_relaxed);
+  {
+    MutexLock lock(stats_mu_);
+    counters_.serve_seconds += timer.Seconds();
+    counters_.new_users_served += num_rows;
+  }
   return Status::OK();
 }
 
@@ -214,26 +219,19 @@ std::string ShardedMipsEngine::shard_strategy(int s) const {
 }
 
 ShardedMipsEngine::Counters ShardedMipsEngine::counters() const {
-  Counters counters;
-  counters.batches_served =
-      stats_.batches_served.load(std::memory_order_relaxed);
-  counters.users_served = stats_.users_served.load(std::memory_order_relaxed);
-  counters.new_users_served =
-      stats_.new_users_served.load(std::memory_order_relaxed);
-  counters.serve_seconds =
-      stats_.serve_seconds.load(std::memory_order_relaxed);
-  return counters;
+  MutexLock lock(stats_mu_);
+  return counters_;
 }
 
 ShardedMipsEngine::Stats ShardedMipsEngine::stats() const {
   Stats snapshot;
-  snapshot.batches_served =
-      stats_.batches_served.load(std::memory_order_relaxed);
-  snapshot.users_served = stats_.users_served.load(std::memory_order_relaxed);
-  snapshot.new_users_served =
-      stats_.new_users_served.load(std::memory_order_relaxed);
-  snapshot.serve_seconds =
-      stats_.serve_seconds.load(std::memory_order_relaxed);
+  {
+    MutexLock lock(stats_mu_);
+    snapshot.batches_served = counters_.batches_served;
+    snapshot.users_served = counters_.users_served;
+    snapshot.new_users_served = counters_.new_users_served;
+    snapshot.serve_seconds = counters_.serve_seconds;
+  }
   snapshot.shards.resize(static_cast<std::size_t>(num_shards()));
   for (int s = 0; s < num_shards(); ++s) {
     ShardSnapshot& shard = snapshot.shards[static_cast<std::size_t>(s)];

@@ -48,13 +48,14 @@
 #ifndef MIPS_SHARD_SHARDED_ENGINE_H_
 #define MIPS_SHARD_SHARDED_ENGINE_H_
 
-#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/engine.h"
 #include "shard/partition.h"
 
@@ -90,7 +91,8 @@ class ShardedMipsEngine {
   /// shard, gather + merge.  Identical to the unsharded MipsEngine result
   /// (ids remapped to global; BetterEntry order).  Safe for concurrent
   /// callers.
-  Status TopK(Index k, std::span<const Index> user_ids, TopKResult* out);
+  Status TopK(Index k, std::span<const Index> user_ids, TopKResult* out)
+      EXCLUDES(stats_mu_);
 
   /// Exact global top-K for every prepared user.
   Status TopKAll(Index k, TopKResult* out);
@@ -109,7 +111,7 @@ class ShardedMipsEngine {
   /// the other batch rows — which is what lets a serving layer coalesce
   /// singleton traffic without changing any answer.
   Status TopKNewUsers(const Real* user_vectors, Index num_rows, Index k,
-                      TopKResult* out);
+                      TopKResult* out) EXCLUDES(stats_mu_);
 
   /// Forces every shard onto the candidate named by solver name or exact
   /// opening spec.  All shards share the same candidate list, so this
@@ -166,18 +168,21 @@ class ShardedMipsEngine {
     std::string gemm_kernel;
     std::vector<ShardSnapshot> shards;
   };
-  Stats stats() const;
+  Stats stats() const EXCLUDES(stats_mu_);
 
-  /// Just the sharded-engine-level counters above — four atomic loads,
-  /// no per-shard snapshot.  For per-request hot paths (ServingSession)
-  /// where stats()'s vector + string + per-shard-lock cost is too much.
+  /// Just the sharded-engine-level counters above — one lock, four
+  /// copies, no per-shard snapshot.  For per-request hot paths
+  /// (ServingSession) where stats()'s vector + string + per-shard-lock
+  /// cost is too much.  The snapshot is cross-field consistent: a
+  /// scatter/gather publishes all of its counter updates under one lock,
+  /// so a reader never sees batches_served without its serve_seconds.
   struct Counters {
     int64_t batches_served = 0;
     int64_t users_served = 0;
     int64_t new_users_served = 0;
     double serve_seconds = 0;
   };
-  Counters counters() const;
+  Counters counters() const EXCLUDES(stats_mu_);
 
  private:
   ShardedMipsEngine() = default;
@@ -195,13 +200,12 @@ class ShardedMipsEngine {
   /// Indices of non-empty shards (scatter order).
   std::vector<int> active_shards_;
 
-  struct AtomicStats {
-    std::atomic<int64_t> batches_served{0};
-    std::atomic<int64_t> users_served{0};
-    std::atomic<int64_t> new_users_served{0};
-    std::atomic<double> serve_seconds{0};
-  };
-  AtomicStats stats_;
+  /// Engine-level serve counters.  A mutex (not per-field atomics) so
+  /// each scatter/gather's updates publish together and counters() hands
+  /// back a cross-field-consistent snapshot; the lock is taken once per
+  /// batch, far off any per-item path.
+  mutable Mutex stats_mu_;
+  Counters counters_ GUARDED_BY(stats_mu_);
 };
 
 }  // namespace mips

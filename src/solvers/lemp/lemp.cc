@@ -53,13 +53,17 @@ Status LempSolver::Prepare(const ConstRowBlock& users,
     bucket_size = std::clamp<Index>(items.rows() / 64, 64, 1024);
   }
   buckets_ = lemp::MakeBuckets(sorted_, bucket_size);
-  bucket_algorithms_.assign(buckets_.size(),
-                            BucketAlgorithm::kIncremental);
-  if (options_.forced_algorithm >= 0) {
-    const auto forced = static_cast<BucketAlgorithm>(options_.forced_algorithm);
-    bucket_algorithms_.assign(buckets_.size(), forced);
+  {
+    MutexLock lock(calibration_mu_);
+    bucket_algorithms_.assign(buckets_.size(),
+                              BucketAlgorithm::kIncremental);
+    if (options_.forced_algorithm >= 0) {
+      const auto forced =
+          static_cast<BucketAlgorithm>(options_.forced_algorithm);
+      bucket_algorithms_.assign(buckets_.size(), forced);
+    }
+    algorithms_by_k_.clear();
   }
-  algorithms_by_k_.clear();
   stage_timer_.Add("construction", timer.Seconds());
   return Status::OK();
 }
@@ -248,9 +252,12 @@ Status LempSolver::TopKForUsers(Index k, std::span<const Index> user_ids,
   // algorithm is exact; calibration only tunes pruning cost.
   std::vector<BucketAlgorithm> algorithms;
   if (options_.forced_algorithm >= 0) {
-    algorithms = bucket_algorithms_;  // fixed at Prepare, never mutated
+    // Fixed at Prepare, never mutated afterwards — but snapshot under the
+    // lock anyway so the analysis (and any future mutation) stays honest.
+    MutexLock lock(calibration_mu_);
+    algorithms = bucket_algorithms_;
   } else {
-    std::lock_guard<std::mutex> lock(calibration_mu_);
+    MutexLock lock(calibration_mu_);
     auto it = algorithms_by_k_.find(k);
     if (it == algorithms_by_k_.end()) {
       WallTimer timer;

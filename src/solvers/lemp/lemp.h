@@ -20,9 +20,10 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "solvers/lemp/bucket.h"
 #include "solvers/solver.h"
 
@@ -72,7 +73,8 @@ class LempSolver : public MipsSolver {
 
   // Measures per-bucket algorithm costs on the calibration users drawn
   // from `user_ids` and fills bucket_algorithms_.
-  void Calibrate(Index k, std::span<const Index> user_ids);
+  void Calibrate(Index k, std::span<const Index> user_ids)
+      REQUIRES(calibration_mu_);
 
   LempOptions options_;
   ConstRowBlock users_;
@@ -85,9 +87,11 @@ class LempSolver : public MipsSolver {
   /// each k is calibrated once and cached, mirroring the engine's own
   /// per-k winner cache.  Queries run on a snapshot copy, so the choice
   /// only affects pruning cost, never exactness.
-  std::mutex calibration_mu_;
-  std::vector<lemp::BucketAlgorithm> bucket_algorithms_;
-  std::map<Index, std::vector<lemp::BucketAlgorithm>> algorithms_by_k_;
+  Mutex calibration_mu_;
+  std::vector<lemp::BucketAlgorithm> bucket_algorithms_
+      GUARDED_BY(calibration_mu_);
+  std::map<Index, std::vector<lemp::BucketAlgorithm>> algorithms_by_k_
+      GUARDED_BY(calibration_mu_);
   mutable std::atomic<double> last_scan_fraction_{0};
 };
 

@@ -188,7 +188,7 @@ SolverRegistry& SolverRegistry::Global() {
 
 void SolverRegistry::Register(SolverSchema schema, SolverFactory factory,
                               bool hidden) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const Entry& entry : entries_) {
     if (entry.schema.name() == schema.name()) {
       std::fprintf(stderr, "duplicate solver registration: %s\n",
@@ -209,7 +209,7 @@ const SolverRegistry::Entry* SolverRegistry::FindEntry(
 
 StatusOr<std::unique_ptr<MipsSolver>> SolverRegistry::Create(
     const SolverSpec& spec) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const Entry* entry = FindEntry(spec.name);
   if (entry == nullptr) {
     std::vector<std::string> names;
@@ -263,7 +263,7 @@ StatusOr<std::unique_ptr<MipsSolver>> SolverRegistry::Create(
 }
 
 std::vector<std::string> SolverRegistry::Names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   for (const Entry& entry : entries_) {
     if (!entry.hidden) names.push_back(entry.schema.name());
@@ -273,7 +273,7 @@ std::vector<std::string> SolverRegistry::Names() const {
 }
 
 std::vector<SolverSchema> SolverRegistry::Describe() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<SolverSchema> schemas;
   for (const Entry& entry : entries_) {
     if (!entry.hidden) schemas.push_back(entry.schema);
@@ -286,7 +286,7 @@ std::vector<SolverSchema> SolverRegistry::Describe() const {
 }
 
 const SolverSchema* SolverRegistry::FindSchema(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const Entry* entry = FindEntry(name);
   return entry != nullptr ? &entry->schema : nullptr;
 }

@@ -20,11 +20,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "solvers/solver.h"
 #include "solvers/spec.h"
 
@@ -128,22 +129,25 @@ class SolverRegistry {
   /// excluded from Names()/Describe() (used for aliases like "fexipro").
   /// Duplicate names abort: they are a build-time wiring error.
   void Register(SolverSchema schema, SolverFactory factory,
-                bool hidden = false);
+                bool hidden = false) EXCLUDES(mu_);
 
   /// Creates a solver from a parsed spec: resolves the schema, validates
   /// every override (unknown key / ill-typed value -> InvalidArgument
   /// naming the parameter), and invokes the factory.
-  StatusOr<std::unique_ptr<MipsSolver>> Create(const SolverSpec& spec) const;
+  StatusOr<std::unique_ptr<MipsSolver>> Create(const SolverSpec& spec) const
+      EXCLUDES(mu_);
   /// Convenience: parse + Create.
   StatusOr<std::unique_ptr<MipsSolver>> Create(
       const std::string& spec_text) const;
 
   /// Visible solver names, sorted.
-  std::vector<std::string> Names() const;
+  std::vector<std::string> Names() const EXCLUDES(mu_);
   /// Visible schemas, sorted by name.
-  std::vector<SolverSchema> Describe() const;
-  /// Schema for `name` (visible or hidden), or nullptr.
-  const SolverSchema* FindSchema(const std::string& name) const;
+  std::vector<SolverSchema> Describe() const EXCLUDES(mu_);
+  /// Schema for `name` (visible or hidden), or nullptr.  The pointer
+  /// stays valid: entries are only ever appended (at static-init time)
+  /// and never removed or reordered.
+  const SolverSchema* FindSchema(const std::string& name) const EXCLUDES(mu_);
 
  private:
   struct Entry {
@@ -152,10 +156,10 @@ class SolverRegistry {
     bool hidden = false;
   };
 
-  const Entry* FindEntry(const std::string& name) const;
+  const Entry* FindEntry(const std::string& name) const REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<Entry> entries_;
+  mutable Mutex mu_;
+  std::vector<Entry> entries_ GUARDED_BY(mu_);
 };
 
 /// Put one of these at namespace scope in the solver's .cc file:

@@ -14,6 +14,7 @@
 #include <limits>
 #include <vector>
 
+#include "common/dcheck.h"
 #include "topk/result.h"
 
 namespace mips {
@@ -21,7 +22,10 @@ namespace mips {
 /// Fixed-capacity min-heap ordered by score (heap front = current minimum).
 class TopKHeap {
  public:
-  explicit TopKHeap(Index k) : k_(k) { heap_.reserve(static_cast<std::size_t>(k)); }
+  explicit TopKHeap(Index k) : k_(k) {
+    MIPS_DCHECK_GT(k, 0);
+    heap_.reserve(static_cast<std::size_t>(k));
+  }
 
   Index k() const { return k_; }
   Index size() const { return static_cast<Index>(heap_.size()); }
@@ -66,11 +70,18 @@ class TopKHeap {
   /// asc).  If fewer than K entries were pushed (n < K items exist), the
   /// tail is filled with {-1, -inf} sentinels.  The heap is left empty.
   void ExtractDescending(TopKEntry* out) {
+    MIPS_DCHECK(out != nullptr);
+    MIPS_DCHECK_LE(size(), k_);
     std::sort(heap_.begin(), heap_.end(), BetterEntry);
     Index i = 0;
     for (; i < size(); ++i) out[i] = heap_[static_cast<std::size_t>(i)];
     for (; i < k_; ++i) {
       out[i] = {-1, -std::numeric_limits<Real>::infinity()};
+    }
+    // Adjacent rows must obey the library-wide tie order: score strictly
+    // descending, item id ascending among exact ties.
+    for (Index j = 1; j < i; ++j) {
+      MIPS_DCHECK(!BetterEntry(out[j], out[j - 1]));
     }
     heap_.clear();
   }

@@ -3,9 +3,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstring>
+#include <memory>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "common/flags.h"
@@ -343,6 +346,70 @@ TEST(ThreadPoolTest, WaitIsReusable) {
 TEST(ThreadPoolTest, AtLeastOneThread) {
   ThreadPool pool(0);
   EXPECT_EQ(pool.num_threads(), 1);
+}
+
+// Lifecycle contract (thread_pool.h class comment): these pin the
+// guarantees a future work-stealing pool must preserve.
+
+TEST(ThreadPoolLifecycleTest, WaitIsIdempotent) {
+  ThreadPool pool(2);
+  pool.Wait();  // nothing submitted yet: must return immediately
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&counter]() { counter.fetch_add(1); });
+  }
+  pool.Wait();
+  pool.Wait();  // back-to-back, no intervening submissions
+  EXPECT_EQ(counter.load(), 8);
+  pool.Wait();
+  EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(ThreadPoolLifecycleTest, DestructorDrainsPendingTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 64; ++i) {
+      pool.Submit([&ran]() {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ran.fetch_add(1);
+      });
+    }
+    // No Wait(): destruction itself must drain the queue.
+  }
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolLifecycleTest, SubmitDuringShutdownRunsInline) {
+  auto pool = std::make_unique<ThreadPool>(1);
+  std::atomic<bool> blocker_started{false};
+  std::atomic<bool> release{false};
+  pool->Submit([&]() {
+    blocker_started = true;
+    while (!release.load()) std::this_thread::yield();
+  });
+  while (!blocker_started.load()) std::this_thread::yield();
+
+  // Begin destruction on another thread.  The destructor marks the pool
+  // shutting down, then blocks joining the worker that is still holding
+  // the blocker task — so the pool object stays alive (mid-destructor)
+  // until we release it below.
+  ThreadPool* raw = pool.get();
+  std::thread destroyer([&]() { pool.reset(); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // A Submit that arrives after shutdown began must run the task inline
+  // on the submitting thread, before Submit returns.
+  std::atomic<bool> inline_ran{false};
+  const std::thread::id main_id = std::this_thread::get_id();
+  raw->Submit([&]() {
+    inline_ran = true;
+    EXPECT_EQ(std::this_thread::get_id(), main_id);
+  });
+  EXPECT_TRUE(inline_ran.load());
+
+  release = true;
+  destroyer.join();
 }
 
 TEST(ParallelForTest, InlineWithoutPool) {

@@ -107,15 +107,18 @@ TEST(SyntheticTest, DispersionControlsUserClustering) {
   config.user_dispersion = 0.0;
   auto model = GenerateSyntheticModel(config);
   ASSERT_TRUE(model.ok());
-  std::unordered_set<long long> directions;
+  std::unordered_set<unsigned long long> directions;
   for (Index u = 0; u < 500; ++u) {
     const Real* row = model->users.Row(u);
     const Real norm = Nrm2(row, 12);
     ASSERT_GT(norm, 0.0);
-    // Hash the rounded unit direction.
-    long long h = 0;
+    // Hash the rounded unit direction.  Unsigned accumulation: the
+    // polynomial hash overflows by design, and unsigned wraparound is
+    // defined where the old signed form was UB (caught by UBSan).
+    unsigned long long h = 0;
     for (Index d = 0; d < 12; ++d) {
-      h = h * 1000003 + llround(row[d] / norm * 1e6);
+      h = h * 1000003ull +
+          static_cast<unsigned long long>(llround(row[d] / norm * 1e6));
     }
     directions.insert(h);
   }

@@ -29,17 +29,7 @@ namespace {
 using ::mips::testing::AllUsers;
 using ::mips::testing::MakeTestModel;
 
-#if defined(__SANITIZE_THREAD__)
-constexpr bool kThreadSanitizer = true;
-#elif defined(__has_feature)
-#if __has_feature(thread_sanitizer)
-constexpr bool kThreadSanitizer = true;
-#else
-constexpr bool kThreadSanitizer = false;
-#endif
-#else
-constexpr bool kThreadSanitizer = false;
-#endif
+using ::mips::testing::kSanitizerSkewsWallClock;
 
 ShardedEngineOptions SmallShardedOptions(
     int num_shards, Index k = 5,
@@ -454,9 +444,9 @@ MFModel MakeSplitNormModel(Index num_users, Index items_per_half, Index f,
 }
 
 TEST(ShardedDecisionTest, NormSkewedShardsChooseDifferentWinners) {
-  if (kThreadSanitizer) {
+  if (kSanitizerSkewsWallClock) {
     GTEST_SKIP() << "OPTIMUS winner assertions are wall-clock regime "
-                    "checks; TSan's instrumentation slowdown skews them";
+                    "checks; sanitizer instrumentation slowdown skews them";
   }
   // Contiguous 2-way sharding puts the flat half and the skewed half on
   // different shards; each shard's own OPTIMUS decision should disagree

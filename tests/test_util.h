@@ -19,6 +19,24 @@
 namespace mips {
 namespace testing {
 
+/// True when the binary is built under a sanitizer whose instrumentation
+/// slows execution enough to skew wall-clock-derived assertions (TSan
+/// ~10x, ASan ~2x — enough to flip an OPTIMUS winner whose index-probe
+/// vs BMM margin is measured in wall time).  Tests that assert a
+/// timing-derived *winner* should GTEST_SKIP on this; tests that assert
+/// exactness or data-determined regime signals must not.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+inline constexpr bool kSanitizerSkewsWallClock = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+inline constexpr bool kSanitizerSkewsWallClock = true;
+#else
+inline constexpr bool kSanitizerSkewsWallClock = false;
+#endif
+#else
+inline constexpr bool kSanitizerSkewsWallClock = false;
+#endif
+
 /// Builds a small synthetic model; `norm_sigma` controls item-norm skew.
 inline MFModel MakeTestModel(Index users, Index items, Index f,
                              uint64_t seed = 7, Real norm_sigma = 0.4,
