@@ -1,0 +1,118 @@
+// Sparse & hybrid MIPS: density sweep.
+//
+// Generates one synthetic model, sparsifies its item catalog to each
+// density in --densities (plus a dense head when --dense_fraction > 0),
+// and times the dense BMM baseline against the sindi inverted-index
+// walks (abs-ordered with cutoffs, id-ordered TAAT) and the hybrid
+// density split.  Every strategy is exact — the sweep shows WHERE the
+// sparse plans overtake the dense GEMM, which is exactly the arbitration
+// OPTIMUS performs at serve time (the last column runs it and reports
+// the chosen representation).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/flags.h"
+#include "core/engine.h"
+#include "data/synthetic.h"
+#include "sparse/csr_matrix.h"
+
+using namespace mips;
+using namespace mips::bench;
+
+namespace {
+
+std::vector<double> ParseDensities(const std::string& csv) {
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos <= csv.size()) {
+    std::size_t sep = csv.find(',', pos);
+    if (sep == std::string::npos) sep = csv.size();
+    const std::string tok = csv.substr(pos, sep - pos);
+    if (!tok.empty()) out.push_back(std::stod(tok));
+    pos = sep + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagSet flags;
+  int32_t users = 4096;
+  int32_t items = 8192;
+  int32_t factors = 128;
+  int32_t k = 10;
+  int32_t threads = 1;
+  std::string densities_csv = "0.01,0.05,0.1,0.25,0.5,1.0";
+  double dense_fraction = 0.0;
+  int64_t seed = 7;
+  flags.Int32("users", &users, "user count");
+  flags.Int32("items", &items, "item count");
+  flags.Int32("factors", &factors, "factor dimension");
+  flags.Int32("k", &k, "top-K size");
+  flags.Int32("threads", &threads, "worker threads per solver (0 = serial)");
+  flags.String("densities", &densities_csv,
+               "comma-separated item densities to sweep");
+  flags.Double("dense_fraction", &dense_fraction,
+               "fraction of item rows kept fully dense at each density "
+               "(mixed catalogs; exercises the hybrid split)");
+  flags.Int64("seed", &seed, "model seed");
+  flags.Parse(argc, argv).CheckOK();
+
+  std::printf("== Sparse & hybrid MIPS density sweep (%d users x %d items, "
+              "f=%d, k=%d, threads=%d) ==\n",
+              users, items, factors, k, threads);
+  TablePrinter table({"density", "nnz/row", "bmm", "sindi(abs)", "sindi(id)",
+                      "hybrid", "abs/bmm", "OPTIMUS pick"});
+  for (const double density : ParseDensities(densities_csv)) {
+    SyntheticModelConfig config;
+    config.num_users = users;
+    config.num_items = items;
+    config.num_factors = factors;
+    config.seed = static_cast<uint64_t>(seed);
+    config.item_density = static_cast<Real>(density);
+    config.dense_item_fraction = static_cast<Real>(dense_fraction);
+    auto model = GenerateSyntheticModel(config);
+    model.status().CheckOK();
+    const CsrMatrix::Stats stats =
+        CsrMatrix::FromDense(ConstRowBlock(model->items)).ComputeStats();
+
+    ThreadPool pool(threads > 0 ? threads : 1);
+    const auto time_spec = [&](const std::string& spec) {
+      auto solver = MakeSolver(spec);
+      if (threads > 0) solver->set_thread_pool(&pool);
+      return TimeEndToEnd(solver.get(), *model, k).total();
+    };
+    const double t_bmm = time_spec("bmm");
+    const double t_abs = time_spec("sindi:postings=abs");
+    const double t_id = time_spec("sindi:postings=id");
+    const double t_hybrid = time_spec("hybrid");
+
+    // What would OPTIMUS serve here?  One engine over the dense and
+    // sparse plans; the report attributes the winning representation.
+    EngineOptions options;
+    options.k = k;
+    options.solvers = {"bmm", "sindi"};
+    options.threads = threads;
+    auto engine = MipsEngine::Open(ConstRowBlock(model->users),
+                                   ConstRowBlock(model->items), options);
+    engine.status().CheckOK();
+    const OptimusReport& report = (*engine)->decision_report();
+
+    table.AddRow({Fmt(stats.density, 3), Fmt(stats.mean_row_nnz, 1),
+                  FormatSeconds(t_bmm), FormatSeconds(t_abs),
+                  FormatSeconds(t_id), FormatSeconds(t_hybrid),
+                  Fmt(t_abs / t_bmm, 2) + "x",
+                  report.chosen + " (" + report.representation + ")"});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape: at low density the inverted-index walk skips most "
+      "of the multiplies and wins; near density 1 the blocked GEMM's "
+      "hardware efficiency dominates.  All cells are exact solvers — the "
+      "sweep locates the crossover OPTIMUS arbitrates automatically.\n");
+  return 0;
+}

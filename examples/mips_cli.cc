@@ -32,7 +32,9 @@
 #include "core/engine.h"
 #include "data/datasets.h"
 #include "data/io.h"
+#include "data/synthetic.h"
 #include "serve/batching_engine.h"
+#include "sparse/csr_matrix.h"
 #include "shard/sharded_engine.h"
 #include "solvers/registry.h"
 
@@ -133,6 +135,8 @@ int main(int argc, char** argv) {
   std::string demo;
   std::string users_out = "/tmp/mips_users.bin";
   std::string items_out = "/tmp/mips_items.bin";
+  double density = 1.0;
+  double dense_fraction = 0.0;
   int32_t k = 10;
   int32_t threads = 0;
   int32_t shards = 1;
@@ -173,6 +177,13 @@ int main(int argc, char** argv) {
                "--batching overload policy: block, shed, or drop_expired");
   flags.Int32("batch_clients", &batch_clients,
               "--batching: concurrent submitter threads");
+  flags.Double("density", &density,
+               "sparsify the loaded item matrix to this per-row density "
+               "before serving (1 = leave dense); exposes the sparse/"
+               "hybrid solvers' regime, answers stay exact");
+  flags.Double("dense_fraction", &dense_fraction,
+               "--density<1: fraction of item rows kept fully dense "
+               "(mixed head/tail catalogs for the hybrid solver)");
   flags.String("demo", &demo,
                "generate a preset model instead of serving (preset id, "
                "e.g. netflix-nomad-50)");
@@ -222,6 +233,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "factor dimensions differ: %d vs %d\n",
                  users->cols(), items->cols());
     return 2;
+  }
+  if (density < 1.0) {
+    SparsifyRows(&*items, static_cast<Real>(density),
+                 static_cast<Real>(dense_fraction), /*seed=*/1)
+        .CheckOK();
+    const CsrMatrix::Stats s =
+        CsrMatrix::FromDense(ConstRowBlock(*items)).ComputeStats();
+    std::printf(
+        "sparsified items: density %.4f (%lld nnz; row nnz min/mean/max "
+        "%d/%.1f/%d)\n",
+        s.density, static_cast<long long>(s.nnz), s.min_row_nnz,
+        s.mean_row_nnz, s.max_row_nnz);
   }
   std::printf("model: %d users x %d items, f=%d; k=%d\n", users->rows(),
               items->rows(), users->cols(), k);
@@ -298,8 +321,10 @@ int main(int argc, char** argv) {
     }
     if (use_optimus) {
       const OptimusReport& report = (*engine)->decision_report();
-      std::printf("OPTIMUS chose %s (gemm kernel: %s); estimates:",
-                  report.chosen.c_str(), report.gemm_kernel.c_str());
+      std::printf("OPTIMUS chose %s (representation: %s, gemm kernel: %s); "
+                  "estimates:",
+                  report.chosen.c_str(), report.representation.c_str(),
+                  report.gemm_kernel.c_str());
       for (const auto& est : report.estimates) {
         std::printf(" %s=%.3fs", est.name.c_str(), est.est_total_seconds);
       }

@@ -53,6 +53,13 @@ StatusOr<std::unique_ptr<MipsEngine>> MipsEngine::Open(
         "batch_shape_max_bucket must be >= 1, got " +
         std::to_string(options.batch_shape_max_bucket));
   }
+  for (const Index rows : options.warm_batch_shapes) {
+    if (rows <= 0) {
+      return Status::InvalidArgument(
+          "warm_batch_shapes entries must be positive, got " +
+          std::to_string(rows));
+    }
+  }
 
   // Resolve the GEMM kernel before anything measures throughput: index
   // construction and the opening OPTIMUS decision below must run under
@@ -129,6 +136,7 @@ StatusOr<std::unique_ptr<MipsEngine>> MipsEngine::Open(
   if (num_candidates == 1) {
     // Nothing to decide: serve with the only candidate.
     engine->report_.chosen = engine->names_[0];
+    engine->report_.representation = engine->solvers_[0]->representation();
     engine->report_.gemm_kernel = ToString(ActiveGemmKernel());
     engine->report_.construction_seconds = build_seconds[0];
     engine->report_.total_seconds = build_wall_seconds;
@@ -159,6 +167,24 @@ StatusOr<std::unique_ptr<MipsEngine>> MipsEngine::Open(
   {
     WriterMutexLock lock(engine->decision_mu_);
     engine->InsertDecision(engine->OpeningKey(), winner);
+    // Pre-decide the caller's expected batch shapes so the first live
+    // request at each shape finds a cached winner instead of paying the
+    // sampling decision inline.  Shapes bucket exactly like live queries;
+    // buckets already decided (including bucket 0 when shape-keying is
+    // off) are skipped.
+    for (const Index rows : options.warm_batch_shapes) {
+      const DecisionKey key{options.k, engine->ShapeBucket(rows)};
+      if (engine->winner_by_k_.find(key) != engine->winner_by_k_.end()) {
+        continue;
+      }
+      OptimusOptions warm_options = options.optimus;
+      warm_options.fixed_sample_users = key.second;
+      Optimus warm_optimus(warm_options);
+      std::size_t warm_winner = 0;
+      MIPS_RETURN_IF_ERROR(warm_optimus.DecidePrepared(
+          users, items, options.k, raw, &warm_winner, nullptr));
+      engine->InsertDecision(key, warm_winner);
+    }
   }
   return engine;
 }
@@ -466,10 +492,16 @@ MipsEngine::Stats MipsEngine::stats() const {
   snapshot.decision_cache_invalidations =
       stats_.decision_cache_invalidations.load(std::memory_order_relaxed);
   snapshot.gemm_kernel = ToString(ActiveGemmKernel());
+  const std::size_t forced = forced_.load(std::memory_order_acquire);
   {
     ReaderMutexLock lock(decision_mu_);
     snapshot.decision_cache_size =
         static_cast<int64_t>(winner_by_k_.size());
+    snapshot.representation =
+        solvers_[forced != kNoForcedStrategy
+                     ? forced
+                     : winner_by_k_.at(OpeningKey()).winner]
+            ->representation();
   }
   return snapshot;
 }

@@ -119,6 +119,15 @@ struct EngineOptions {
   /// beyond it share the cap bucket's decision (amortization has
   /// saturated by then).
   Index batch_shape_max_bucket = 128;
+  /// Expected batch row counts to PRE-decide at Open(), so the first
+  /// request at each shape finds a cached winner instead of paying the
+  /// sampling decision inline.  Each entry is bucketed exactly like a
+  /// live query (ShapeBucket; duplicates and same-bucket shapes collapse)
+  /// and decided at the opening k.  Entries must be positive.  Only
+  /// meaningful with batch_shape_decisions = true and >= 2 candidates —
+  /// otherwise every shape already shares the opening decision and the
+  /// list warms nothing.
+  std::vector<Index> warm_batch_shapes;
   /// Which GEMM micro-kernel the engine's BMM/index GEMMs dispatch to
   /// (linalg/simd_dispatch.h).  "auto" keeps the process-wide choice
   /// (MIPS_GEMM_KERNEL env override, else the startup micro-probe);
@@ -229,6 +238,10 @@ class MipsEngine {
     /// "avx2", "avx512") — the throughput regime every wall-clock
     /// decision in this engine was measured under.
     std::string gemm_kernel;
+    /// Item-catalog representation of the strategy serving the engine's
+    /// decision k right now ("dense", "sparse", "hybrid") — the forced
+    /// strategy's when one is set, else the opening winner's.
+    std::string representation;
   };
   Stats stats() const EXCLUDES(decision_mu_);
 

@@ -47,6 +47,7 @@ Status Optimus::DecideInternal(const ConstRowBlock& users,
       MIPS_RETURN_IF_ERROR(strategies[s]->Prepare(users, items));
     }
     rep.estimates[s].name = strategies[s]->name();
+    rep.estimates[s].representation = strategies[s]->representation();
     rep.estimates[s].construction_seconds = timer.Seconds();
     rep.construction_seconds += rep.estimates[s].construction_seconds;
   }
@@ -154,6 +155,7 @@ Status Optimus::DecideInternal(const ConstRowBlock& users,
   }
   sample_out->winner = winner;
   rep.chosen = strategies[winner]->name();
+  rep.representation = strategies[winner]->representation();
   return Status::OK();
 }
 

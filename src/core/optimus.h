@@ -59,6 +59,9 @@ struct OptimusOptions {
 /// Measured/estimated cost of one candidate strategy.
 struct StrategyEstimate {
   std::string name;
+  /// Item-catalog representation the strategy executes against ("dense",
+  /// "sparse", "hybrid" — MipsSolver::representation()).
+  std::string representation;
   double construction_seconds = 0;
   /// Wall time spent measuring this strategy on the sample.
   double sampling_seconds = 0;
@@ -74,6 +77,11 @@ struct StrategyEstimate {
 /// Outcome of one OPTIMUS run.
 struct OptimusReport {
   std::string chosen;
+  /// Representation of the winning strategy ("dense", "sparse", "hybrid")
+  /// so a dense-vs-sparse arbitration is attributable at a glance; the
+  /// per-strategy estimates carry the measured sample timings both plans
+  /// were judged by.
+  std::string representation;
   /// The GEMM micro-kernel installed while the decision was measured
   /// ("portable" / "avx2" / "avx512" — see linalg/simd_dispatch.h).
   /// Every wall-clock estimate below was taken under this kernel's

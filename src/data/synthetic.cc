@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <vector>
 
 #include "common/rng.h"
 #include "linalg/blas.h"
@@ -31,6 +32,12 @@ StatusOr<MFModel> GenerateSyntheticModel(const SyntheticModelConfig& config) {
   }
   if (config.user_modes <= 0) {
     return Status::InvalidArgument("user_modes must be positive");
+  }
+  if (!(config.item_density > 0 && config.item_density <= 1)) {
+    return Status::InvalidArgument("item_density must be in (0, 1]");
+  }
+  if (!(config.dense_item_fraction >= 0 && config.dense_item_fraction <= 1)) {
+    return Status::InvalidArgument("dense_item_fraction must be in [0, 1]");
   }
 
   const Index f = config.num_factors;
@@ -79,7 +86,57 @@ StatusOr<MFModel> GenerateSyntheticModel(const SyntheticModelConfig& config) {
       model.items.data()[i] = std::abs(model.items.data()[i]);
     }
   }
+
+  // --- Optional item sparsification, LAST and on a derived stream: at
+  // item_density = 1 the generated matrices stay bitwise identical to
+  // what this generator produced before the knob existed. ---
+  if (config.item_density < 1) {
+    MIPS_RETURN_IF_ERROR(SparsifyRows(&model.items, config.item_density,
+                                      config.dense_item_fraction,
+                                      config.seed ^ 0x5eed5eedull));
+  }
   return model;
+}
+
+Status SparsifyRows(Matrix* items, Real density, Real dense_fraction,
+                    uint64_t seed) {
+  if (!(density > 0 && density <= 1)) {
+    return Status::InvalidArgument("density must be in (0, 1]");
+  }
+  if (!(dense_fraction >= 0 && dense_fraction <= 1)) {
+    return Status::InvalidArgument("dense_fraction must be in [0, 1]");
+  }
+  if (density == 1) return Status::OK();
+
+  const Index f = items->cols();
+  const Index keep = std::max<Index>(
+      1, static_cast<Index>(std::llround(density * static_cast<double>(f))));
+  Rng rng(seed);
+  std::vector<Index> perm(static_cast<std::size_t>(f));
+  for (Index r = 0; r < items->rows(); ++r) {
+    if (rng.Uniform() < dense_fraction) continue;  // head item: stays dense
+    // Partial Fisher-Yates: the first `keep` entries of `perm` become a
+    // uniform random subset — the surviving coordinates.
+    for (Index i = 0; i < f; ++i) perm[static_cast<std::size_t>(i)] = i;
+    for (Index i = 0; i < keep; ++i) {
+      const Index j =
+          i + static_cast<Index>(
+                  rng.UniformInt(static_cast<uint64_t>(f - i)));
+      std::swap(perm[static_cast<std::size_t>(i)],
+                perm[static_cast<std::size_t>(j)]);
+    }
+    std::sort(perm.begin(), perm.begin() + keep);
+    Real* row = items->Row(r);
+    Index next = 0;
+    for (Index c = 0; c < f; ++c) {
+      if (next < keep && perm[static_cast<std::size_t>(next)] == c) {
+        ++next;
+      } else {
+        row[c] = 0;
+      }
+    }
+  }
+  return Status::OK();
 }
 
 VectorSetStats ComputeVectorSetStats(const ConstRowBlock& vectors) {

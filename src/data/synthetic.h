@@ -64,11 +64,32 @@ struct SyntheticModelConfig {
 
   /// Clamp all factor coordinates to be non-negative (BPR-like models).
   bool non_negative = false;
+
+  /// Fraction of item coordinates kept nonzero (sparse catalogs, e.g.
+  /// learned-sparse or pruned embeddings).  1.0 (default) leaves items
+  /// fully dense — and, deliberately, bitwise identical to the matrices
+  /// generated before this knob existed.  Values in (0, 1) zero out a
+  /// random complement of ceil(density * f) coordinates per item row
+  /// (at least one survives).  Must be in (0, 1].
+  Real item_density = 1.0;
+  /// Fraction of item rows exempted from sparsification (kept fully
+  /// dense), modeling mixed head/tail catalogs for the hybrid solver.
+  /// Must be in [0, 1]; only consulted when item_density < 1.
+  Real dense_item_fraction = 0.0;
 };
 
 /// Generates a model deterministically from `config.seed`.
 /// Returns InvalidArgument for non-positive dimensions.
 StatusOr<MFModel> GenerateSyntheticModel(const SyntheticModelConfig& config);
+
+/// Sparsifies `items` in place: each row independently keeps
+/// max(1, llround(density * cols)) coordinates (a random subset) and
+/// zeroes the rest, except a `dense_fraction` share of rows (chosen
+/// per-row at random) which stay fully dense.  Deterministic in `seed`.
+/// density = 1 is an exact no-op.  InvalidArgument unless density is in
+/// (0, 1] and dense_fraction in [0, 1].
+Status SparsifyRows(Matrix* items, Real density, Real dense_fraction,
+                    uint64_t seed);
 
 /// Summary statistics of a vector set, used by tests and by the Table I
 /// bench to show the generated workloads match their presets.

@@ -3,21 +3,16 @@
 #include <algorithm>
 #include <cmath>
 
+#include "linalg/dot_kernel.h"
+
 namespace mips {
 
 Real Dot(const Real* x, const Real* y, Index n) {
-  // Four independent accumulators break the FMA dependency chain; GCC/Clang
-  // vectorize each lane with -O3 -march=native.
-  Real acc0 = 0, acc1 = 0, acc2 = 0, acc3 = 0;
-  Index i = 0;
-  for (; i + 4 <= n; i += 4) {
-    acc0 += x[i + 0] * y[i + 0];
-    acc1 += x[i + 1] * y[i + 1];
-    acc2 += x[i + 2] * y[i + 2];
-    acc3 += x[i + 3] * y[i + 3];
-  }
-  for (; i < n; ++i) acc0 += x[i] * y[i];
-  return (acc0 + acc1) + (acc2 + acc3);
+  // Dispatched 8-lane fma kernel (dot_kernel.h): AVX-512 / AVX2 /
+  // portable, selected by the same runtime install as the GEMM
+  // micro-kernel.  Every variant is bit-for-bit identical, so swapping
+  // kernels never changes a Dot-derived score.
+  return ActiveDotKernel()(x, y, n);
 }
 
 Real DotNaive(const Real* x, const Real* y, Index n) {

@@ -1,10 +1,12 @@
 // Level-1 BLAS-style kernels (dot, norms, axpy) plus the prefix/suffix dot
 // products used by the pruning indexes.
 //
-// These are the "sdot" building blocks from Section II-B of the paper.  The
-// implementations unroll into independent accumulator lanes so the compiler
-// vectorizes them with FMA; the naive single-accumulator loop is kept as
-// DotNaive for the naive-vs-blocked micro benchmark.
+// These are the "sdot" building blocks from Section II-B of the paper.
+// Dot() dispatches at runtime to an 8-lane fma kernel (AVX-512 / AVX2 /
+// portable — linalg/dot_kernel.h) selected by the same installed-kernel
+// choice as the blocked GEMM, with every variant bit-for-bit identical;
+// the naive single-accumulator loop is kept as DotNaive for the
+// naive-vs-blocked micro benchmark.
 
 #ifndef MIPS_LINALG_BLAS_H_
 #define MIPS_LINALG_BLAS_H_
@@ -15,7 +17,8 @@
 
 namespace mips {
 
-/// Inner product <x, y> over n elements (vectorized, 4 accumulator lanes).
+/// Inner product <x, y> over n elements (runtime-dispatched 8-lane fma
+/// kernel; bit-for-bit identical under every installed variant).
 Real Dot(const Real* x, const Real* y, Index n);
 
 /// Reference single-accumulator inner product (intentionally unoptimized).

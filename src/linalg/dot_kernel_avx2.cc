@@ -1,0 +1,47 @@
+// AVX2+FMA variant of the 8-lane dot kernel: lanes 0-3 and 4-7 live in
+// two ymm accumulators.  Compiled with -mavx2 -mfma -mno-avx512f in its
+// own TU (see linalg/CMakeLists.txt) so it stays a genuinely 256-bit code
+// path; MIPS_GEMM_NO_AVX2 is defined at configure time when the compiler
+// cannot target AVX2, in which case this TU forwards to the portable
+// kernel (bit-identical by the dot_kernel.h contract).
+
+#include "linalg/dot_kernel.h"
+
+#if !defined(MIPS_GEMM_NO_AVX2)
+
+#include <immintrin.h>
+
+namespace mips {
+
+Real DotKernelAvx2(const Real* x, const Real* y, Index n) {
+  __m256d lo = _mm256_setzero_pd();
+  __m256d hi = _mm256_setzero_pd();
+  const Index n8 = n - (n % 8);
+  for (Index i = 0; i < n8; i += 8) {
+    lo = _mm256_fmadd_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i), lo);
+    hi = _mm256_fmadd_pd(_mm256_loadu_pd(x + i + 4),
+                         _mm256_loadu_pd(y + i + 4), hi);
+  }
+  alignas(64) Real lanes[8];
+  _mm256_store_pd(lanes, lo);
+  _mm256_store_pd(lanes + 4, hi);
+  return internal::ReduceDotLanes(lanes, x, y, n8, n);
+}
+
+bool DotAvx2KernelCompiled() { return true; }
+
+}  // namespace mips
+
+#else  // MIPS_GEMM_NO_AVX2
+
+namespace mips {
+
+Real DotKernelAvx2(const Real* x, const Real* y, Index n) {
+  return DotKernelPortable(x, y, n);
+}
+
+bool DotAvx2KernelCompiled() { return false; }
+
+}  // namespace mips
+
+#endif  // MIPS_GEMM_NO_AVX2

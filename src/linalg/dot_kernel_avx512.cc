@@ -1,0 +1,42 @@
+// AVX-512 variant of the 8-lane dot kernel: all 8 lanes in one zmm
+// accumulator.  Compiled with -mavx512f in its own TU;
+// MIPS_GEMM_NO_AVX512 is defined at configure time when the compiler
+// cannot target AVX-512, in which case this TU forwards to the portable
+// kernel (bit-identical by the dot_kernel.h contract).
+
+#include "linalg/dot_kernel.h"
+
+#if !defined(MIPS_GEMM_NO_AVX512)
+
+#include <immintrin.h>
+
+namespace mips {
+
+Real DotKernelAvx512(const Real* x, const Real* y, Index n) {
+  __m512d acc = _mm512_setzero_pd();
+  const Index n8 = n - (n % 8);
+  for (Index i = 0; i < n8; i += 8) {
+    acc = _mm512_fmadd_pd(_mm512_loadu_pd(x + i), _mm512_loadu_pd(y + i), acc);
+  }
+  alignas(64) Real lanes[8];
+  _mm512_store_pd(lanes, acc);
+  return internal::ReduceDotLanes(lanes, x, y, n8, n);
+}
+
+bool DotAvx512KernelCompiled() { return true; }
+
+}  // namespace mips
+
+#else  // MIPS_GEMM_NO_AVX512
+
+namespace mips {
+
+Real DotKernelAvx512(const Real* x, const Real* y, Index n) {
+  return DotKernelPortable(x, y, n);
+}
+
+bool DotAvx512KernelCompiled() { return false; }
+
+}  // namespace mips
+
+#endif  // MIPS_GEMM_NO_AVX512

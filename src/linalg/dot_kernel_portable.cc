@@ -1,0 +1,21 @@
+// Portable variant of the 8-lane dot kernel: 8 scalar std::fma chains.
+// std::fma is single-rounding (IEEE 754-2008), exactly like the vfmadd
+// lanes of the AVX variants, so this TU defines the reference bit pattern
+// the SIMD variants must reproduce.
+
+#include "linalg/dot_kernel.h"
+
+namespace mips {
+
+Real DotKernelPortable(const Real* x, const Real* y, Index n) {
+  Real lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  const Index n8 = n - (n % 8);
+  for (Index i = 0; i < n8; i += 8) {
+    for (int j = 0; j < 8; ++j) {
+      lanes[j] = std::fma(x[i + j], y[i + j], lanes[j]);
+    }
+  }
+  return internal::ReduceDotLanes(lanes, x, y, n8, n);
+}
+
+}  // namespace mips

@@ -20,8 +20,10 @@ constexpr Index kMR = kGemmMR;
 constexpr Index kNR = kGemmNR;
 
 // Cache blocking.  KC covers every latent-factor count in the paper
-// (f <= 200) in a single K pass; MC*KC*8B ~= 256 KB targets L2.
-constexpr Index kKC = 256;
+// (f <= 200) in a single K pass; MC*KC*8B ~= 256 KB targets L2.  The
+// panel depth is public (gemm.h): the sparse rescore path replicates the
+// per-panel accumulation fold and must agree on where panels break.
+constexpr Index kKC = kGemmKPanel;
 constexpr Index kMC = 128;
 constexpr Index kNC = 2048;
 

@@ -34,6 +34,14 @@ namespace mips {
 
 class ThreadPool;
 
+/// K-panel depth of the blocked driver: every C element is accumulated in
+/// per-panel chains of up to this many fma steps, folded into the output
+/// one panel at a time (acc = 0; acc = fma(a, b, acc) over the panel;
+/// c += acc).  Exported because the sparse scoring path (src/sparse)
+/// replicates exactly this fold over a CSR row to stay bit-for-bit
+/// identical to the dense GEMM score.
+inline constexpr Index kGemmKPanel = 256;
+
 /// C (m x n) = alpha * A * B^T + beta * C.
 ///
 /// A is m x k row-major, B is n x k row-major (so B^T is k x n), and C is

@@ -11,6 +11,7 @@
 #include "common/log.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
+#include "linalg/dot_kernel.h"
 #include "linalg/gemm_kernel.h"
 
 namespace mips {
@@ -40,6 +41,29 @@ const KernelTableEntry& TableEntry(GemmKernel kernel) {
 std::atomic<GemmMicroKernelFn> g_active_fn{nullptr};
 std::atomic<int> g_active_kernel{static_cast<int>(GemmKernel::kPortable)};
 std::atomic<int> g_active_source{static_cast<int>(GemmKernelSource::kProbe)};
+
+/// The level-1 dot kernel installed alongside the GEMM kernel: one ISA
+/// choice governs both (a machine whose AVX-512 is emulated for GEMM is
+/// equally degraded for dots).  Like g_active_fn it may lag an install by
+/// a step under a racing reader, which is harmless — every dot variant is
+/// bit-for-bit identical (dot_kernel.h).
+std::atomic<DotKernelFn> g_active_dot{nullptr};
+
+/// The dot variant matching `kernel`.  A variant whose intrinsics body
+/// was not compiled in already forwards to the portable kernel, but
+/// selecting the portable entry directly skips the extra call.
+DotKernelFn DotKernelFor(GemmKernel kernel) {
+  switch (kernel) {
+    case GemmKernel::kAvx2:
+      return DotAvx2KernelCompiled() ? &DotKernelAvx2 : &DotKernelPortable;
+    case GemmKernel::kAvx512:
+      return DotAvx512KernelCompiled() ? &DotKernelAvx512
+                                       : &DotKernelPortable;
+    case GemmKernel::kPortable:
+      break;
+  }
+  return &DotKernelPortable;
+}
 
 /// Serializes installs; also guards g_install_probe.
 Mutex g_install_mu;
@@ -125,6 +149,7 @@ void InstallLocked(GemmKernel kernel, GemmKernelSource source,
   g_install_probe = probe;
   g_active_source.store(static_cast<int>(source), std::memory_order_relaxed);
   g_active_kernel.store(static_cast<int>(kernel), std::memory_order_relaxed);
+  g_active_dot.store(DotKernelFor(kernel), std::memory_order_release);
   g_active_fn.store(TableEntry(kernel).fn, std::memory_order_release);
   g_install_epoch.fetch_add(1, std::memory_order_release);
 }
@@ -241,9 +266,21 @@ void ResetGemmKernelForTest() {
                         std::memory_order_relaxed);
   g_active_kernel.store(static_cast<int>(GemmKernel::kPortable),
                         std::memory_order_relaxed);
+  g_active_dot.store(nullptr, std::memory_order_release);
   g_active_fn.store(nullptr, std::memory_order_release);
 }
 
 GemmMicroKernelFn ActiveGemmMicroKernel() { return EnsureInstalled(); }
+
+DotKernelFn ActiveDotKernel() {
+  DotKernelFn fn = g_active_dot.load(std::memory_order_acquire);
+  if (fn != nullptr) return fn;
+  EnsureInstalled();
+  fn = g_active_dot.load(std::memory_order_acquire);
+  // A racing ResetGemmKernelForTest can null the pointer between the
+  // install and this load; the portable kernel is always a bit-identical
+  // answer.
+  return fn != nullptr ? fn : &DotKernelPortable;
+}
 
 }  // namespace mips

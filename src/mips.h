@@ -35,6 +35,10 @@
 #include "solvers/registry.h"     // IWYU pragma: export
 #include "solvers/solver.h"       // IWYU pragma: export
 #include "solvers/spec.h"         // IWYU pragma: export
+#include "sparse/csr_matrix.h"    // IWYU pragma: export
+#include "sparse/hybrid.h"        // IWYU pragma: export
+#include "sparse/inverted_index.h"  // IWYU pragma: export
+#include "sparse/sindi.h"         // IWYU pragma: export
 #include "topk/result.h"          // IWYU pragma: export
 
 #endif  // MIPS_MIPS_H_

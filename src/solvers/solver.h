@@ -50,6 +50,13 @@ class MipsSolver {
   /// timings of single-user calls are not representative).
   virtual bool batches_users() const = 0;
 
+  /// Which item-catalog representation the solver executes against:
+  /// "dense" (the default — row-major matrix), "sparse" (CSR + inverted
+  /// index, src/sparse), or "hybrid" (density-split partitions).  OPTIMUS
+  /// surfaces the winner's representation in its report so a decision
+  /// between dense and sparse plans is attributable.
+  virtual std::string representation() const { return "dense"; }
+
   /// Builds index structures over the model.  The views must stay valid for
   /// the lifetime of the solver.  Calling Prepare again re-indexes.
   virtual Status Prepare(const ConstRowBlock& users,

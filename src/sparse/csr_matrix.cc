@@ -1,0 +1,155 @@
+#include "sparse/csr_matrix.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "linalg/blas.h"
+
+namespace mips {
+
+CsrMatrix CsrMatrix::FromDense(const ConstRowBlock& dense) {
+  std::vector<Index> all(static_cast<std::size_t>(dense.rows()));
+  for (Index r = 0; r < dense.rows(); ++r) {
+    all[static_cast<std::size_t>(r)] = r;
+  }
+  return FromDenseRows(dense, all);
+}
+
+CsrMatrix CsrMatrix::FromDenseRows(const ConstRowBlock& dense,
+                                   std::span<const Index> rows) {
+  CsrMatrix m;
+  m.rows_ = static_cast<Index>(rows.size());
+  m.cols_ = dense.cols();
+  m.row_ptr_.reserve(rows.size() + 1);
+  m.row_ptr_.push_back(0);
+  for (const Index src : rows) {
+    MIPS_DCHECK_GE(src, 0);
+    MIPS_DCHECK_LT(src, dense.rows());
+    const Real* row = dense.Row(src);
+    for (Index c = 0; c < m.cols_; ++c) {
+      if (row[c] != Real{0}) {
+        m.cols_idx_.push_back(c);
+        m.values_.push_back(row[c]);
+      }
+    }
+    m.row_ptr_.push_back(static_cast<int64_t>(m.values_.size()));
+  }
+  m.row_norms_.resize(static_cast<std::size_t>(m.rows_));
+  for (Index r = 0; r < m.rows_; ++r) {
+    m.row_norms_[static_cast<std::size_t>(r)] =
+        Nrm2(m.values_.data() + m.row_ptr_[static_cast<std::size_t>(r)],
+             m.RowNnz(r));
+  }
+  m.DcheckInvariants();
+  return m;
+}
+
+StatusOr<CsrMatrix> CsrMatrix::FromTriples(
+    Index rows, Index cols, std::span<const SparseTriple> triples) {
+  if (rows < 0 || cols < 0) {
+    return Status::InvalidArgument(
+        "CsrMatrix::FromTriples: negative shape (" + std::to_string(rows) +
+        " x " + std::to_string(cols) + ")");
+  }
+  for (const SparseTriple& t : triples) {
+    if (t.row < 0 || t.row >= rows || t.col < 0 || t.col >= cols) {
+      return Status::InvalidArgument(
+          "CsrMatrix::FromTriples: coordinate (" + std::to_string(t.row) +
+          ", " + std::to_string(t.col) + ") outside " + std::to_string(rows) +
+          " x " + std::to_string(cols));
+    }
+  }
+
+  // Stable-sort indices by (row, col); values stay addressable by the
+  // original triple index.
+  std::vector<std::size_t> order(triples.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return triples[a].row != triples[b].row
+               ? triples[a].row < triples[b].row
+               : triples[a].col < triples[b].col;
+  });
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    const SparseTriple& prev = triples[order[i - 1]];
+    const SparseTriple& cur = triples[order[i]];
+    if (prev.row == cur.row && prev.col == cur.col) {
+      return Status::InvalidArgument(
+          "CsrMatrix::FromTriples: duplicate coordinate (" +
+          std::to_string(cur.row) + ", " + std::to_string(cur.col) + ")");
+    }
+  }
+
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.row_ptr_.assign(static_cast<std::size_t>(rows) + 1, 0);
+  m.cols_idx_.reserve(order.size());
+  m.values_.reserve(order.size());
+  Index filled = 0;
+  for (const std::size_t i : order) {
+    const SparseTriple& t = triples[i];
+    if (t.value == Real{0}) continue;  // compresses away, like FromDense
+    while (filled < t.row) {
+      ++filled;
+      m.row_ptr_[static_cast<std::size_t>(filled)] =
+          static_cast<int64_t>(m.values_.size());
+    }
+    m.cols_idx_.push_back(t.col);
+    m.values_.push_back(t.value);
+  }
+  while (filled < rows) {
+    ++filled;
+    m.row_ptr_[static_cast<std::size_t>(filled)] =
+        static_cast<int64_t>(m.values_.size());
+  }
+  m.row_norms_.resize(static_cast<std::size_t>(rows));
+  for (Index r = 0; r < rows; ++r) {
+    m.row_norms_[static_cast<std::size_t>(r)] =
+        Nrm2(m.values_.data() + m.row_ptr_[static_cast<std::size_t>(r)],
+             m.RowNnz(r));
+  }
+  m.DcheckInvariants();
+  return m;
+}
+
+CsrMatrix::Stats CsrMatrix::ComputeStats() const {
+  Stats s;
+  s.rows = rows_;
+  s.cols = cols_;
+  s.nnz = nnz();
+  s.density = density();
+  if (rows_ == 0) return s;
+  Index min_nnz = RowNnz(0);
+  Index max_nnz = min_nnz;
+  for (Index r = 1; r < rows_; ++r) {
+    const Index n = RowNnz(r);
+    min_nnz = std::min(min_nnz, n);
+    max_nnz = std::max(max_nnz, n);
+  }
+  s.min_row_nnz = min_nnz;
+  s.max_row_nnz = max_nnz;
+  s.mean_row_nnz = static_cast<Real>(static_cast<double>(s.nnz) / rows_);
+  return s;
+}
+
+void CsrMatrix::DcheckInvariants() const {
+#ifdef MIPS_ENABLE_DCHECKS
+  MIPS_DCHECK_EQ(row_ptr_.size(), static_cast<std::size_t>(rows_) + 1);
+  MIPS_DCHECK_EQ(row_ptr_.front(), int64_t{0});
+  MIPS_DCHECK_EQ(row_ptr_.back(), static_cast<int64_t>(values_.size()));
+  MIPS_DCHECK_EQ(cols_idx_.size(), values_.size());
+  for (Index r = 0; r < rows_; ++r) {
+    MIPS_DCHECK_LE(row_ptr_[static_cast<std::size_t>(r)],
+                   row_ptr_[static_cast<std::size_t>(r) + 1]);
+    const std::span<const Index> cs = RowCols(r);
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      MIPS_DCHECK_GE(cs[i], 0);
+      MIPS_DCHECK_LT(cs[i], cols_);
+      if (i > 0) MIPS_DCHECK_LT(cs[i - 1], cs[i]);
+    }
+  }
+#endif
+}
+
+}  // namespace mips

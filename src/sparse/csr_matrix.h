@@ -1,0 +1,162 @@
+// Compressed-sparse-row item-catalog representation.
+//
+// Every solver in the repo scores against a dense row-major item matrix,
+// but real recommender catalogs are often sparse or mixed (SINDI,
+// arXiv:2509.08395; Bruch et al., arXiv:2309.09013).  CsrMatrix is the
+// sparse half of that story: an immutable CSR view built either by
+// exact-zero compression of a dense block or from coordinate triples,
+// carrying the density statistics and per-row norms the hybrid splitter
+// and the bench report on.
+//
+// Exactness contract: GemmEquivalentDot() scores a CSR row against a
+// dense query with bit-for-bit the same result the blocked GEMM
+// (linalg/gemm.h) produces for the corresponding dense row.  The dense
+// kernel accumulates each score in K-panels of kGemmKPanel fma steps and
+// folds panels into the output one at a time; skipping the zero-valued
+// coordinates is an exact no-op in that chain (the accumulator starts at
+// +0.0 and fma(v, 0, acc) / fma(0, q, acc) can never change it — a
+// nonnegative-zero accumulator plus a signed-zero product rounds back to
+// the accumulator under round-to-nearest-even), so walking only the
+// stored entries in ascending-column order with the same per-panel fold
+// reproduces the dense bits.  Precondition: finite inputs (a NaN or Inf
+// coordinate multiplied by an elided zero would NOT be a no-op); the
+// library's model generators and loaders only produce finite values.
+//
+// Thread safety: immutable after construction — build once, then read
+// from any number of threads concurrently with no synchronization.
+
+#ifndef MIPS_SPARSE_CSR_MATRIX_H_
+#define MIPS_SPARSE_CSR_MATRIX_H_
+
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/dcheck.h"
+#include "common/status.h"
+#include "linalg/gemm.h"
+#include "linalg/matrix.h"
+
+namespace mips {
+
+/// One (row, col, value) coordinate of a sparse matrix.
+struct SparseTriple {
+  Index row = 0;
+  Index col = 0;
+  Real value = 0;
+};
+
+/// Immutable CSR matrix over the library's Real/Index types.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Exact-zero compression of a dense row-major block: every coordinate
+  /// with value != 0.0 becomes a stored entry, columns ascending.
+  static CsrMatrix FromDense(const ConstRowBlock& dense);
+
+  /// FromDense restricted to the given rows: logical row r of the result
+  /// is dense row `rows[r]`.  The hybrid splitter uses this to build the
+  /// sparse partition without first gathering a dense copy.
+  static CsrMatrix FromDenseRows(const ConstRowBlock& dense,
+                                 std::span<const Index> rows);
+
+  /// Builds from coordinate triples (any order).  InvalidArgument on
+  /// negative dimensions, an out-of-range coordinate, or a duplicate
+  /// (row, col) pair.  Exact-zero values are dropped (they compress
+  /// away, exactly like FromDense elides them).
+  static StatusOr<CsrMatrix> FromTriples(
+      Index rows, Index cols, std::span<const SparseTriple> triples);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  int64_t nnz() const { return static_cast<int64_t>(values_.size()); }
+  /// nnz / (rows * cols); 0 for an empty shape.
+  Real density() const {
+    const double cells =
+        static_cast<double>(rows_) * static_cast<double>(cols_);
+    return cells > 0 ? static_cast<Real>(static_cast<double>(nnz()) / cells)
+                     : Real{0};
+  }
+
+  Index RowNnz(Index row) const {
+    MIPS_DCHECK_GE(row, 0);
+    MIPS_DCHECK_LT(row, rows_);
+    return static_cast<Index>(row_ptr_[static_cast<std::size_t>(row) + 1] -
+                              row_ptr_[static_cast<std::size_t>(row)]);
+  }
+  std::span<const Index> RowCols(Index row) const {
+    MIPS_DCHECK_GE(row, 0);
+    MIPS_DCHECK_LT(row, rows_);
+    const auto begin =
+        static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(row)]);
+    return {cols_idx_.data() + begin,
+            static_cast<std::size_t>(RowNnz(row))};
+  }
+  std::span<const Real> RowValues(Index row) const {
+    MIPS_DCHECK_GE(row, 0);
+    MIPS_DCHECK_LT(row, rows_);
+    const auto begin =
+        static_cast<std::size_t>(row_ptr_[static_cast<std::size_t>(row)]);
+    return {values_.data() + begin, static_cast<std::size_t>(RowNnz(row))};
+  }
+
+  /// Per-row L2 norms over the stored entries (equal to the dense row
+  /// norms up to accumulation order), computed once at build through the
+  /// dispatched level-1 kernels (linalg/blas.h).
+  const std::vector<Real>& row_norms() const { return row_norms_; }
+
+  /// Catalog-shape summary for attribution and the bench report.
+  struct Stats {
+    Index rows = 0;
+    Index cols = 0;
+    int64_t nnz = 0;
+    Real density = 0;
+    Index min_row_nnz = 0;
+    Index max_row_nnz = 0;
+    Real mean_row_nnz = 0;
+  };
+  Stats ComputeStats() const;
+
+  /// Inner product of row `row` against the dense query q[0..cols()),
+  /// bit-for-bit identical to the blocked GEMM's score for the
+  /// corresponding dense row (see the file comment for why eliding the
+  /// zero coordinates is exact).
+  Real GemmEquivalentDot(Index row, const Real* q) const {
+    const std::span<const Index> cs = RowCols(row);
+    const std::span<const Real> vs = RowValues(row);
+    Real total = 0;
+    Real acc = 0;
+    Index panel_end = kGemmKPanel;
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      const Index c = cs[i];
+      while (c >= panel_end) {
+        // Panel boundary: fold the finished panel's accumulator exactly
+        // as the GEMM driver does (c += acc is the single rounding
+        // fma(1, acc, c) performs at alpha = 1).
+        total += acc;
+        acc = 0;
+        panel_end += kGemmKPanel;
+      }
+      acc = std::fma(vs[i], q[c], acc);
+    }
+    return total + acc;
+  }
+
+ private:
+  /// Debug-only structural invariants: row_ptr_ monotone and spanning,
+  /// columns strictly ascending within each row and in [0, cols_).
+  void DcheckInvariants() const;
+
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<int64_t> row_ptr_;  // size rows_ + 1
+  std::vector<Index> cols_idx_;   // size nnz, ascending within each row
+  std::vector<Real> values_;      // parallel to cols_idx_
+  std::vector<Real> row_norms_;   // size rows_
+};
+
+}  // namespace mips
+
+#endif  // MIPS_SPARSE_CSR_MATRIX_H_

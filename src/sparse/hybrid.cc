@@ -1,0 +1,148 @@
+#include "sparse/hybrid.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+
+#include "common/timer.h"
+#include "linalg/gemm.h"
+#include "solvers/registry.h"
+#include "topk/merge.h"
+#include "topk/topk_block.h"
+
+namespace mips {
+namespace {
+
+/// Score-block byte budget for the dense partition's GEMM batches (same
+/// default regime as bmm's auto batch sizing).
+constexpr std::size_t kScoreBlockBytes = std::size_t{16} << 20;
+
+}  // namespace
+
+Status HybridSolver::Prepare(const ConstRowBlock& users,
+                             const ConstRowBlock& items) {
+  if (users.cols() != items.cols()) {
+    return Status::InvalidArgument("user/item factor dimensions differ");
+  }
+  WallTimer timer;
+  users_ = users;
+  prepared_users_ = users.rows();
+
+  const Index f = items.cols();
+  dense_ids_.clear();
+  sparse_ids_.clear();
+  for (Index r = 0; r < items.rows(); ++r) {
+    const Real* row = items.Row(r);
+    Index nnz = 0;
+    for (Index c = 0; c < f; ++c) {
+      if (row[c] != Real{0}) ++nnz;
+    }
+    const Real density =
+        f > 0 ? static_cast<Real>(nnz) / static_cast<Real>(f) : Real{0};
+    if (density >= density_threshold_) {
+      dense_ids_.push_back(r);
+    } else {
+      sparse_ids_.push_back(r);
+    }
+  }
+
+  dense_items_ = GatherRows(items, dense_ids_);
+  sparse_csr_ = CsrMatrix::FromDenseRows(items, sparse_ids_);
+  sparse_index_ = InvertedIndex::Build(sparse_csr_, order_);
+
+  const std::size_t row_bytes =
+      std::max<std::size_t>(1, dense_ids_.size() * sizeof(Real));
+  batch_rows_ = static_cast<Index>(
+      std::clamp<std::size_t>(kScoreBlockBytes / row_bytes, 128, 8192));
+  stage_timer_.Add("construction", timer.Seconds());
+  return Status::OK();
+}
+
+Status HybridSolver::TopKForUsers(Index k, std::span<const Index> user_ids,
+                                  TopKResult* out) {
+  if (k <= 0) return Status::InvalidArgument("k must be positive");
+  const Index q = static_cast<Index>(user_ids.size());
+  *out = TopKResult(q, k);
+  const Index f = users_.cols();
+  const Index nd = dense_items_.rows();
+  const Index batch = batch_rows_;
+
+  ParallelFor(pool_, q, [&](int64_t begin, int64_t end, int /*chunk*/) {
+    TopKHeap heap(k);
+    SparseQueryScratch scratch;
+    std::vector<TopKEntry> dense_row(static_cast<std::size_t>(k));
+    std::vector<TopKEntry> sparse_row(static_cast<std::size_t>(k));
+    Matrix scores(
+        nd > 0 ? std::min<Index>(batch, static_cast<Index>(end - begin)) : 0,
+        nd);
+    for (int64_t b = begin; b < end; b += batch) {
+      const Index m = static_cast<Index>(std::min<int64_t>(batch, end - b));
+      if (nd > 0) {
+        const Matrix block = GatherRows(
+            users_, user_ids.subspan(static_cast<std::size_t>(b),
+                                     static_cast<std::size_t>(m)));
+        GemmNT(block.data(), m, dense_items_.data(), nd, f, /*alpha=*/1,
+               /*beta=*/0, scores.data(), scores.cols());
+      }
+      for (Index r = 0; r < m; ++r) {
+        const Index row = static_cast<Index>(b) + r;
+        const Real* u = users_.Row(user_ids[static_cast<std::size_t>(row)]);
+        if (nd > 0 && sparse_csr_.rows() > 0) {
+          TopKFromRow(scores.Row(r), nd, k, /*item_offset=*/0,
+                      dense_ids_.data(), dense_row.data());
+          SparseTopKQuery(sparse_csr_, sparse_index_, u, k, sparse_ids_,
+                          &scratch, &heap, sparse_row.data(),
+                          /*stats=*/nullptr);
+          const TopKEntry* rows[] = {dense_row.data(), sparse_row.data()};
+          MergeTopKRows(rows, k, k, out->Row(row));
+        } else if (nd > 0) {
+          TopKFromRow(scores.Row(r), nd, k, /*item_offset=*/0,
+                      dense_ids_.data(), out->Row(row));
+        } else {
+          SparseTopKQuery(sparse_csr_, sparse_index_, u, k, sparse_ids_,
+                          &scratch, &heap, out->Row(row),
+                          /*stats=*/nullptr);
+        }
+      }
+    }
+  });
+  return Status::OK();
+}
+
+namespace {
+
+const SolverRegistrar kHybridRegistrar(
+    SolverSchema("hybrid",
+                 "density-split dense GEMM + sparse inverted-index "
+                 "execution with an exact top-K merge")
+        .Real("density_threshold", 0.25,
+              "items with row density >= this go to the dense GEMM "
+              "partition; the rest to the CSR inverted index (0 = all "
+              "dense, > 1 = all sparse)")
+        .String("postings", "abs",
+                "posting-list order of the sparse partition: \"abs\" or "
+                "\"id\" (see sindi)"),
+    [](const ParamMap& params) -> StatusOr<std::unique_ptr<MipsSolver>> {
+      const double threshold = params.GetReal("density_threshold");
+      if (!(threshold >= 0)) {  // rejects negatives and NaN
+        return Status::InvalidArgument(
+            "hybrid: density_threshold must be >= 0");
+      }
+      const std::string& postings = params.GetString("postings");
+      PostingOrder order;
+      if (postings == "abs") {
+        order = PostingOrder::kAbsDescending;
+      } else if (postings == "id") {
+        order = PostingOrder::kItemAscending;
+      } else {
+        return Status::InvalidArgument(
+            "hybrid: postings must be \"abs\" or \"id\", got \"" + postings +
+            "\"");
+      }
+      return std::unique_ptr<MipsSolver>(
+          new HybridSolver(static_cast<Real>(threshold), order));
+    });
+
+}  // namespace
+
+}  // namespace mips

@@ -13,6 +13,7 @@
 #include "common/rng.h"
 #include "common/thread_pool.h"
 #include "linalg/blas.h"
+#include "linalg/dot_kernel.h"
 #include "linalg/gemm.h"
 #include "linalg/simd_dispatch.h"
 #include "linalg/matrix.h"
@@ -389,6 +390,37 @@ TEST_F(GemmKernelTest, ParseAndNames) {
   EXPECT_FALSE(ParseGemmKernel("sse9").ok());
   EXPECT_FALSE(ParseGemmKernel("").ok());
   EXPECT_FALSE(ParseGemmKernel("AVX2").ok());  // names are lowercase
+}
+
+TEST_F(GemmKernelTest, DotBitForBitAcrossForcedKernels) {
+  // The level-1 dot kernels share the GEMM dispatch and the same
+  // bit-for-bit contract (linalg/dot_kernel.h): 8 independent lanes,
+  // per-lane fma chains, fixed reduction tree.  Forcing any supported
+  // kernel must leave every Dot() result EXACTLY unchanged, remainder
+  // tails and empty inputs included.
+  Rng rng(91);
+  for (const Index n : {0, 1, 3, 7, 8, 9, 31, 64, 100, 257}) {
+    std::vector<Real> x(static_cast<std::size_t>(n));
+    std::vector<Real> y(static_cast<std::size_t>(n));
+    for (Index i = 0; i < n; ++i) {
+      x[static_cast<std::size_t>(i)] = rng.Normal();
+      y[static_cast<std::size_t>(i)] = rng.Normal();
+    }
+    ASSERT_TRUE(ForceGemmKernel(GemmKernel::kPortable).ok());
+    const Real want = Dot(x.data(), y.data(), n);
+    // The variant entry points agree regardless of what is installed
+    // (unsupported ISAs forward to the portable body).
+    EXPECT_EQ(DotKernelPortable(x.data(), y.data(), n), want) << "n=" << n;
+    EXPECT_EQ(DotKernelAvx2(x.data(), y.data(), n), want) << "n=" << n;
+    EXPECT_EQ(DotKernelAvx512(x.data(), y.data(), n), want) << "n=" << n;
+    for (int v = 0; v < kNumGemmKernels; ++v) {
+      const GemmKernel kernel = static_cast<GemmKernel>(v);
+      if (!GemmKernelSupported(kernel)) continue;
+      ASSERT_TRUE(ForceGemmKernel(kernel).ok());
+      EXPECT_EQ(Dot(x.data(), y.data(), n), want)
+          << "n=" << n << " kernel=" << ToString(kernel);
+    }
+  }
 }
 
 TEST_F(GemmKernelTest, PortableAlwaysSupportedAndInstallable) {

@@ -273,6 +273,14 @@ TEST(OptimusTest, FlatNormsErodeIndexAdvantage) {
 }
 
 TEST(OptimusTest, TTestEarlyStopsOnClearCutInput) {
+  if (testing::kSanitizerSkewsWallClock) {
+    // The t-statistic is built from wall-clock per-user timings; TSan's
+    // ~10x instrumented slowdown inflates their variance enough that the
+    // retry loop below still flakes.  The exactness half of this test is
+    // covered sanitizer-clean by TTestCanBeDisabled and the differential
+    // suite.
+    GTEST_SKIP() << "t-test significance is wall-clock-derived";
+  }
   // A full-scan point-query strategy (naive) against BMM: their per-user
   // means differ by a wide factor in SOME direction on every machine
   // (which direction depends on the GEMM's throughput — the t-test is

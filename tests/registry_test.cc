@@ -81,8 +81,9 @@ TEST(RegistrySchemaTest, RegistersExpectedSolvers) {
   // The canonical solver families must all be present — this also guards
   // against the linker dropping a static registrar.
   const std::vector<std::string> expected = {
-      "bmm",         "dynamic-maximus", "fexipro-si", "fexipro-sir",
-      "lemp",        "maximus",         "naive"};
+      "bmm",     "dynamic-maximus", "fexipro-si", "fexipro-sir",
+      "hybrid",  "lemp",            "maximus",    "naive",
+      "sindi"};
   EXPECT_EQ(AvailableSolvers(), expected);
   EXPECT_EQ(RegisteredSolverNames(), expected);
 }
