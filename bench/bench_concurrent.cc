@@ -206,6 +206,7 @@ OpenLoopRow RunOpenLoop(const std::string& mode, MipsEngine* engine,
   std::vector<double> schedule(static_cast<std::size_t>(total));
   double t = 0;
   for (double& arrival : schedule) {
+    // mips-tidy: allow(float-accumulation): Poisson arrival schedule.
     t += gap(rng);
     arrival = t;
   }

@@ -16,6 +16,8 @@ Real SquaredDistance(const Real* a, const Real* b, Index f) {
   Real acc = 0;
   for (Index i = 0; i < f; ++i) {
     const Real d = a[i] - b[i];
+    // mips-tidy: allow(float-accumulation): seeding geometry only; any
+    // clustering yields exact results, rounding affects partition choice.
     acc += d * d;
   }
   return acc;
@@ -42,12 +44,14 @@ void PlusPlusInit(const ConstRowBlock& points, Index k, Rng* rng,
       const Real d2 = SquaredDistance(points.Row(i), last, f);
       auto& slot = min_dist2[static_cast<std::size_t>(i)];
       slot = std::min(slot, d2);
+      // mips-tidy: allow(float-accumulation): D^2 seeding weight total.
       total += slot;
     }
     Index chosen = n - 1;
     if (total > 0) {
       Real target = static_cast<Real>(rng->Uniform()) * total;
       for (Index i = 0; i < n; ++i) {
+        // mips-tidy: allow(float-accumulation): D^2 seeding roulette walk.
         target -= min_dist2[static_cast<std::size_t>(i)];
         if (target <= 0) {
           chosen = i;
@@ -204,6 +208,7 @@ Status KMeans(const ConstRowBlock& points, const KMeansOptions& options,
   out->inertia = 0;
   for (Index i = 0; i < n; ++i) {
     const Index c = out->assignment[static_cast<std::size_t>(i)];
+    // mips-tidy: allow(float-accumulation): clustering quality diagnostic.
     out->inertia += SquaredDistance(points.Row(i), out->centroids.Row(c), f);
   }
   out->members = MembersFromAssignment(out->assignment, k);

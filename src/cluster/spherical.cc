@@ -105,6 +105,8 @@ Status SphericalKMeans(const ConstRowBlock& points,
   out->inertia = 0;
   for (Index i = 0; i < n; ++i) {
     const Index c = out->assignment[static_cast<std::size_t>(i)];
+    // mips-tidy: allow(float-accumulation): clustering quality diagnostic;
+    // partitioning never alters exact results, only index quality.
     out->inertia += Real{1} - CosineSimilarity(points.Row(i),
                                                out->centroids.Row(c), f);
   }
@@ -124,6 +126,7 @@ AngularQuality MeasureAngularQuality(const ConstRowBlock& points,
                                       clustering.centroids.Row(c),
                                       points.cols());
     const Real angle = std::acos(cos);
+    // mips-tidy: allow(float-accumulation): angular-quality diagnostic.
     sum += angle;
     q.max_angle = std::max(q.max_angle, angle);
   }

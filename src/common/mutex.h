@@ -39,6 +39,13 @@
 #include <mutex>
 #include <shared_mutex>
 
+#ifdef MIPS_ENABLE_DCHECKS
+#include <atomic>
+#include <thread>
+
+#include "common/dcheck.h"
+#endif
+
 #include "common/thread_annotations.h"
 
 namespace mips {
@@ -46,19 +53,62 @@ namespace mips {
 class CondVar;
 
 /// std::mutex with the "mutex" capability attribute.
+///
+/// Under MIPS_ENABLE_DCHECKS the mutex additionally tracks its owning
+/// thread, which makes AssertHeld() a real runtime check on the
+/// sanitizer legs; release builds carry no extra state.
 class CAPABILITY("mutex") Mutex {
  public:
   Mutex() = default;
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  bool TryLock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void Lock() ACQUIRE() {
+    mu_.lock();
+    SetOwner();
+  }
+  void Unlock() RELEASE() {
+    ClearOwner();
+    mu_.unlock();
+  }
+  bool TryLock() TRY_ACQUIRE(true) {
+    const bool acquired = mu_.try_lock();
+    if (acquired) SetOwner();
+    return acquired;
+  }
+
+  /// Runtime counterpart of REQUIRES(this): aborts under
+  /// MIPS_ENABLE_DCHECKS unless the calling thread holds this mutex, and
+  /// is free otherwise.  To the analysis it asserts the capability, so a
+  /// REQUIRES body can open with it and both contracts stay aligned.
+  void AssertHeld() const ASSERT_CAPABILITY(this) {
+#ifdef MIPS_ENABLE_DCHECKS
+    MIPS_DCHECK(owner_.load(std::memory_order_relaxed) ==
+                std::this_thread::get_id());
+#endif
+  }
 
  private:
   friend class MutexLock;
+  friend class CondVar;
+
+  // MutexLock and CondVar acquire/release through the raw std::mutex, so
+  // they maintain the owner record via these hooks.
+  void SetOwner() {
+#ifdef MIPS_ENABLE_DCHECKS
+    owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+#endif
+  }
+  void ClearOwner() {
+#ifdef MIPS_ENABLE_DCHECKS
+    owner_.store(std::thread::id(), std::memory_order_relaxed);
+#endif
+  }
+
   std::mutex mu_;
+#ifdef MIPS_ENABLE_DCHECKS
+  std::atomic<std::thread::id> owner_{};
+#endif
 };
 
 /// std::shared_mutex with the "shared_mutex" capability attribute.
@@ -69,13 +119,57 @@ class CAPABILITY("shared_mutex") SharedMutex {
   SharedMutex(const SharedMutex&) = delete;
   SharedMutex& operator=(const SharedMutex&) = delete;
 
-  void Lock() ACQUIRE() { mu_.lock(); }
-  void Unlock() RELEASE() { mu_.unlock(); }
-  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
-  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+  void Lock() ACQUIRE() {
+    mu_.lock();
+#ifdef MIPS_ENABLE_DCHECKS
+    owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
+#endif
+  }
+  void Unlock() RELEASE() {
+#ifdef MIPS_ENABLE_DCHECKS
+    owner_.store(std::thread::id(), std::memory_order_relaxed);
+#endif
+    mu_.unlock();
+  }
+  void LockShared() ACQUIRE_SHARED() {
+    mu_.lock_shared();
+#ifdef MIPS_ENABLE_DCHECKS
+    readers_.fetch_add(1, std::memory_order_relaxed);
+#endif
+  }
+  void UnlockShared() RELEASE_SHARED() {
+#ifdef MIPS_ENABLE_DCHECKS
+    readers_.fetch_sub(1, std::memory_order_relaxed);
+#endif
+    mu_.unlock_shared();
+  }
+
+  /// Runtime counterpart of REQUIRES(this) for the writer side; see
+  /// Mutex::AssertHeld().
+  void AssertHeld() const ASSERT_CAPABILITY(this) {
+#ifdef MIPS_ENABLE_DCHECKS
+    MIPS_DCHECK(owner_.load(std::memory_order_relaxed) ==
+                std::this_thread::get_id());
+#endif
+  }
+
+  /// Runtime counterpart of REQUIRES_SHARED(this).  Necessarily weaker
+  /// than AssertHeld: reader identity is not tracked per thread, so this
+  /// checks that SOME reader (or this thread as writer) holds the lock.
+  void AssertReaderHeld() const ASSERT_SHARED_CAPABILITY(this) {
+#ifdef MIPS_ENABLE_DCHECKS
+    MIPS_DCHECK(readers_.load(std::memory_order_relaxed) > 0 ||
+                owner_.load(std::memory_order_relaxed) ==
+                    std::this_thread::get_id());
+#endif
+  }
 
  private:
   std::shared_mutex mu_;
+#ifdef MIPS_ENABLE_DCHECKS
+  std::atomic<std::thread::id> owner_{};
+  std::atomic<int> readers_{0};
+#endif
 };
 
 /// RAII exclusive lock on a Mutex (drop-in for std::unique_lock): locks
@@ -84,18 +178,29 @@ class CAPABILITY("shared_mutex") SharedMutex {
 /// a long computation); CondVar waits through the wrapped unique_lock.
 class SCOPED_CAPABILITY MutexLock {
  public:
-  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.mu_) {}
-  ~MutexLock() RELEASE() = default;
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : mu_(mu), lock_(mu.mu_) {
+    mu_.SetOwner();
+  }
+  ~MutexLock() RELEASE() {
+    if (lock_.owns_lock()) mu_.ClearOwner();
+  }
 
   MutexLock(const MutexLock&) = delete;
   MutexLock& operator=(const MutexLock&) = delete;
 
   /// Manual release/reacquire inside the scope.
-  void Unlock() RELEASE() { lock_.unlock(); }
-  void Lock() ACQUIRE() { lock_.lock(); }
+  void Unlock() RELEASE() {
+    mu_.ClearOwner();
+    lock_.unlock();
+  }
+  void Lock() ACQUIRE() {
+    lock_.lock();
+    mu_.SetOwner();
+  }
 
  private:
   friend class CondVar;
+  Mutex& mu_;
   std::unique_lock<std::mutex> lock_;
 };
 
@@ -139,13 +244,20 @@ class CondVar {
   CondVar(const CondVar&) = delete;
   CondVar& operator=(const CondVar&) = delete;
 
-  void Wait(MutexLock& lock) { cv_.wait(lock.lock_); }
+  void Wait(MutexLock& lock) {
+    lock.mu_.ClearOwner();  // the wait releases the mutex internally
+    cv_.wait(lock.lock_);
+    lock.mu_.SetOwner();
+  }
 
   template <typename Clock, typename Duration>
   std::cv_status WaitUntil(
       MutexLock& lock,
       const std::chrono::time_point<Clock, Duration>& deadline) {
-    return cv_.wait_until(lock.lock_, deadline);
+    lock.mu_.ClearOwner();
+    const std::cv_status status = cv_.wait_until(lock.lock_, deadline);
+    lock.mu_.SetOwner();
+    return status;
   }
 
   void NotifyOne() { cv_.notify_one(); }

@@ -35,7 +35,14 @@ const char* StatusCodeName(StatusCode code);
 ///
 /// A default-constructed Status is OK.  Status is cheap to copy when OK
 /// (no allocation) and carries a message only on error.
-class Status {
+///
+/// [[nodiscard]] on the class: the library is exception-free, so a
+/// returned Status IS the error channel — silently dropping one turns
+/// "Open failed" into undefined downstream behaviour.  Discard visibly
+/// with a (void) cast if (and only if) failure is genuinely irrelevant.
+/// The mips-unchecked-status clang-tidy check (tools/mips_tidy) enforces
+/// the same contract even if this attribute is ever lost.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
 
@@ -88,8 +95,10 @@ class Status {
 };
 
 /// Either a value of type T or an error Status.  Mirrors absl::StatusOr.
+/// [[nodiscard]] for the same reason as Status: dropping one loses both
+/// the value and the error.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /*implicit*/ StatusOr(T value) : repr_(std::move(value)) {}
   /*implicit*/ StatusOr(Status status) : repr_(std::move(status)) {

@@ -68,6 +68,21 @@
 #define TRY_ACQUIRE(b, ...) \
   MIPS_THREAD_ANNOTATION_ATTRIBUTE(try_acquire_capability(b, __VA_ARGS__))
 
+/// Function asserts at runtime that the capability is held; the analysis
+/// then treats it as held for the rest of the caller's scope.  This is
+/// the bridge between the static contract and the dcheck builds:
+/// Mutex::AssertHeld() carries this attribute and aborts under
+/// MIPS_ENABLE_DCHECKS when the calling thread does not own the lock, so
+/// a REQUIRES(mu_) body can open with mu_.AssertHeld() and have the same
+/// contract enforced both at compile time (clang leg) and at run time
+/// (sanitizer legs).
+#define ASSERT_CAPABILITY(x) \
+  MIPS_THREAD_ANNOTATION_ATTRIBUTE(assert_capability(x))
+
+/// Shared-capability form of ASSERT_CAPABILITY (reader locks).
+#define ASSERT_SHARED_CAPABILITY(x) \
+  MIPS_THREAD_ANNOTATION_ATTRIBUTE(assert_shared_capability(x))
+
 /// Function must NOT be called with the capability held (deadlock guard
 /// for public entry points of self-locking classes).
 #define EXCLUDES(...) \
@@ -79,7 +94,10 @@
 
 /// Escape hatch: disables the analysis for one function whose locking is
 /// correct but outside what the analysis can express.  Every use must
-/// carry a comment saying why.
+/// carry a comment saying why.  The library currently has ZERO uses —
+/// keep it that way: before reaching for this, try restructuring so the
+/// analysis can see the lock, or AssertHeld()/ASSERT_CAPABILITY, which
+/// keeps the contract checked at runtime instead of abandoning it.
 #define NO_THREAD_SAFETY_ANALYSIS \
   MIPS_THREAD_ANNOTATION_ATTRIBUTE(no_thread_safety_analysis)
 

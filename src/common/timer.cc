@@ -6,6 +6,7 @@ void StageTimer::Add(const std::string& name, double seconds) {
   MutexLock lock(mu_);
   for (auto& [stage, total] : stages_) {
     if (stage == name) {
+      // mips-tidy: allow(float-accumulation): wall-clock bookkeeping.
       total += seconds;
       return;
     }
@@ -24,6 +25,7 @@ double StageTimer::Get(const std::string& name) const {
 double StageTimer::Total() const {
   MutexLock lock(mu_);
   double sum = 0.0;
+  // mips-tidy: allow(float-accumulation): wall-clock bookkeeping.
   for (const auto& [stage, total] : stages_) sum += total;
   return sum;
 }

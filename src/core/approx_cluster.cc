@@ -83,6 +83,7 @@ double MeanRecallAtK(const TopKResult& approx, const TopKResult& exact) {
     for (Index e = 0; e < k; ++e) {
       if (truth.count(approx.Row(q)[e].item) > 0) ++hits;
     }
+    // mips-tidy: allow(float-accumulation): recall metric over queries.
     recall_sum += static_cast<double>(hits) / static_cast<double>(valid);
   }
   return recall_sum / static_cast<double>(exact.num_queries());

@@ -6,7 +6,6 @@
 #include <numeric>
 
 #include "common/mutex.h"
-
 #include "common/timer.h"
 #include "core/dynamic_maximus.h"
 #include "core/maximus.h"
@@ -161,6 +160,7 @@ StatusOr<std::unique_ptr<MipsEngine>> MipsEngine::Open(
                           s < engine->report_.estimates.size();
        ++s) {
     engine->report_.estimates[s].construction_seconds = build_seconds[s];
+    // mips-tidy: allow(float-accumulation): wall-clock bookkeeping.
     engine->report_.construction_seconds += build_seconds[s];
   }
   engine->report_.total_seconds += build_wall_seconds;
@@ -197,6 +197,7 @@ Index MipsEngine::ShapeBucket(Index rows) const {
 }
 
 void MipsEngine::InsertDecision(DecisionKey key, std::size_t winner) {
+  decision_mu_.AssertHeld();
   winner_by_k_.erase(key);  // re-insert after an expiry refreshes the entry
   winner_by_k_.emplace(
       std::piecewise_construct, std::forward_as_tuple(key),
@@ -230,6 +231,7 @@ void MipsEngine::InsertDecision(DecisionKey key, std::size_t winner) {
 }
 
 bool MipsEngine::DecisionExpired(const CachedDecision& entry) const {
+  decision_mu_.AssertReaderHeld();
   // Staleness only matters when a fresh decision is possible; with
   // re-deciding disabled (or one candidate) the opening winner serves
   // forever.

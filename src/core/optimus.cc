@@ -49,6 +49,7 @@ Status Optimus::DecideInternal(const ConstRowBlock& users,
     rep.estimates[s].name = strategies[s]->name();
     rep.estimates[s].representation = strategies[s]->representation();
     rep.estimates[s].construction_seconds = timer.Seconds();
+    // mips-tidy: allow(float-accumulation): wall-clock bookkeeping.
     rep.construction_seconds += rep.estimates[s].construction_seconds;
   }
 
@@ -105,6 +106,7 @@ Status Optimus::DecideInternal(const ConstRowBlock& users,
     est.est_total_seconds = est.est_per_user_seconds * n;
     best_batching_mean =
         std::min(best_batching_mean, est.est_per_user_seconds);
+    // mips-tidy: allow(float-accumulation): wall-clock bookkeeping.
     rep.sampling_seconds += est.sampling_seconds;
   }
   for (std::size_t s = 0; s < strategies.size(); ++s) {
@@ -142,6 +144,7 @@ Status Optimus::DecideInternal(const ConstRowBlock& users,
     est.measured_users = measured;
     est.est_per_user_seconds = ttest.accumulator().mean();
     est.est_total_seconds = est.est_per_user_seconds * n;
+    // mips-tidy: allow(float-accumulation): wall-clock bookkeeping.
     rep.sampling_seconds += est.sampling_seconds;
   }
 

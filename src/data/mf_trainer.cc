@@ -57,7 +57,11 @@ StatusOr<MFModel> TrainMF(const std::vector<Rating>& ratings, Index num_users,
       const Real err = r.value - Dot(u, v, f);
       for (Index k = 0; k < f; ++k) {
         const Real uk = u[k];
+        // mips-tidy: allow(float-accumulation): element-wise SGD update,
+        // not a dot-product reduction.
         u[k] += lr * (err * v[k] - reg * uk);
+        // mips-tidy: allow(float-accumulation): element-wise SGD update,
+        // not a dot-product reduction.
         v[k] += lr * (err * uk - reg * v[k]);
       }
     }
@@ -72,6 +76,7 @@ Real ComputeRMSE(const MFModel& model, const std::vector<Rating>& ratings) {
   for (const Rating& r : ratings) {
     const Real pred = Dot(model.users.Row(r.user), model.items.Row(r.item), f);
     const Real err = r.value - pred;
+    // mips-tidy: allow(float-accumulation): RMSE training diagnostic.
     sse += err * err;
   }
   return std::sqrt(sse / static_cast<Real>(ratings.size()));

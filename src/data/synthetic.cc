@@ -150,7 +150,9 @@ VectorSetStats ComputeVectorSetStats(const ConstRowBlock& vectors) {
     const Real norm = Nrm2(vectors.Row(r), vectors.cols());
     stats.min_norm = std::min(stats.min_norm, norm);
     stats.max_norm = std::max(stats.max_norm, norm);
+    // mips-tidy: allow(float-accumulation): dataset norm statistics.
     sum += norm;
+    // mips-tidy: allow(float-accumulation): dataset norm statistics.
     sum2 += norm * norm;
   }
   stats.mean_norm = sum / static_cast<Real>(n);

@@ -146,6 +146,7 @@ GemmKernelProbe SupportOnlyProbe(GemmKernel chosen) {
 
 void InstallLocked(GemmKernel kernel, GemmKernelSource source,
                    const GemmKernelProbe& probe) REQUIRES(g_install_mu) {
+  g_install_mu.AssertHeld();
   g_install_probe = probe;
   g_active_source.store(static_cast<int>(source), std::memory_order_relaxed);
   g_active_kernel.store(static_cast<int>(kernel), std::memory_order_relaxed);

@@ -242,6 +242,7 @@ void BatchingEngine::Flush() {
 }
 
 Index BatchingEngine::PurgeExpiredLocked(Clock::time_point now) {
+  mu_.AssertHeld();
   Index purged = 0;
   for (auto it = pending_.begin(); it != pending_.end();) {
     if (it->has_deadline && now >= it->deadline) {
@@ -264,6 +265,7 @@ Index BatchingEngine::PurgeExpiredLocked(Clock::time_point now) {
 }
 
 void BatchingEngine::AssembleLocked(Index k, int64_t* flush_counter) {
+  mu_.AssertHeld();
   Batch batch;
   batch.k = k;
   batch.requests.reserve(
@@ -277,6 +279,7 @@ void BatchingEngine::AssembleLocked(Index k, int64_t* flush_counter) {
       ++it;
       continue;
     }
+    // mips-tidy: allow(float-accumulation): wall-clock bookkeeping.
     stats_.queue_wait_seconds +=
         std::chrono::duration<double>(now - it->arrival).count();
     batch.requests.push_back(std::move(*it));
@@ -415,6 +418,7 @@ void BatchingEngine::ExecuteBatch(Batch batch) {
 }
 
 Index BatchingEngine::TrackedRowsLocked() const {
+  mu_.AssertHeld();
   // The per-k index is a view over pending_; they must never disagree.
   Index by_k = 0;
   for (const auto& [k, count] : pending_rows_by_k_) by_k += count;

@@ -34,6 +34,8 @@ StatusOr<SvdTransform> ComputeSvdTransform(const ConstRowBlock& items,
   Real total = 0;
   for (Real& v : eigen.values) {
     v = std::max(Real{0}, v);
+    // mips-tidy: allow(float-accumulation): spectrum-energy total picks the
+    // head-dimension cut; it never contributes to a score.
     total += v;
   }
   const Index f = t.basis.rows();
@@ -45,6 +47,8 @@ StatusOr<SvdTransform> ComputeSvdTransform(const ConstRowBlock& items,
   Real cum = 0;
   t.head_dims = f;
   for (Index r = 0; r < f; ++r) {
+    // mips-tidy: allow(float-accumulation): cumulative energy fraction for
+    // the head/tail split; not a score.
     cum += eigen.values[static_cast<std::size_t>(r)];
     if (cum / total >= energy_fraction) {
       t.head_dims = r + 1;
@@ -119,12 +123,13 @@ void ReductionTransform::ApplyToItem(const Real* in, Real* out) const {
 
 void ReductionTransform::ApplyToQuery(const Real* in, Real* out) const {
   const Index f = in_dims();
-  Real correction = 0;
   for (Index d = 0; d < f; ++d) {
     out[d] = in[d];
-    correction += in[d] * shift[static_cast<std::size_t>(d)];
   }
-  out[f] = -correction;
+  // The shift correction is a dot product; route it through the dispatched
+  // kernel instead of an ad-hoc scalar fold so its rounding order matches
+  // every other reduction in the library.
+  out[f] = -Dot(in, shift.data(), f);
 }
 
 ReductionTransform MakeReduction(const ConstRowBlock& items) {

@@ -74,6 +74,9 @@ inline Real CoordBucketBound(const Real* user, const Bucket& bucket,
                              Index f) {
   Real bound = 0;
   for (Index d = 0; d < f; ++d) {
+    // mips-tidy: allow(float-accumulation): coordinate-wise prune bound,
+    // not a score; it has no dense-kernel counterpart whose rounding
+    // order it could mirror.
     bound += std::max(user[d] * bucket.coord_max[static_cast<std::size_t>(d)],
                       user[d] * bucket.coord_min[static_cast<std::size_t>(d)]);
   }

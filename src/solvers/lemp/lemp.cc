@@ -139,6 +139,7 @@ Index LempSolver::QueryOneUser(
 }
 
 void LempSolver::Calibrate(Index k, std::span<const Index> user_ids) {
+  calibration_mu_.AssertHeld();
   const std::size_t num_buckets = buckets_.size();
   // Accumulated cost and trial count per (bucket, algorithm).
   std::vector<double> cost(num_buckets * lemp::kNumBucketAlgorithms, 0.0);
@@ -174,6 +175,8 @@ void LempSolver::Calibrate(Index k, std::span<const Index> user_ids) {
             CoordBucketBound(user, bucket, f) < heap.MinScore()) {
           const std::size_t skip_slot =
               bi * lemp::kNumBucketAlgorithms + static_cast<std::size_t>(a);
+          // mips-tidy: allow(float-accumulation): cost-model timing, not a
+          // score.
           cost[skip_slot] += bucket_timer.Seconds();
           ++trials[skip_slot];
           continue;
@@ -212,6 +215,8 @@ void LempSolver::Calibrate(Index k, std::span<const Index> user_ids) {
         }
         const std::size_t slot = bi * lemp::kNumBucketAlgorithms +
                                  static_cast<std::size_t>(a);
+        // mips-tidy: allow(float-accumulation): cost-model timing, not a
+        // score.
         cost[slot] += bucket_timer.Seconds();
         ++trials[slot];
       }

@@ -201,6 +201,7 @@ void SolverRegistry::Register(SolverSchema schema, SolverFactory factory,
 
 const SolverRegistry::Entry* SolverRegistry::FindEntry(
     const std::string& name) const {
+  mu_.AssertHeld();
   for (const Entry& entry : entries_) {
     if (entry.schema.name() == name) return &entry;
   }

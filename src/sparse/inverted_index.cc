@@ -95,6 +95,8 @@ void QueryAbsOrdered(const CsrMatrix& csr, const InvertedIndex& index,
       if (heap->full() && Inflate(bound) < heap->MinScore()) {
         // Every later posting in this list has a smaller head term, so
         // the whole tail is dominated; fold its per-item cap into carry.
+        // mips-tidy: allow(float-accumulation): carry is a conservative
+        // prune bound, never a score; scores go through GemmEquivalentDot.
         carry += head;
         if (stats != nullptr) ++stats->lists_pruned;
         break;
@@ -128,6 +130,9 @@ void QueryItemOrdered(const InvertedIndex& index, const Real* q,
       // exact no-op — so only crossed-into panels need a flush.)
       for (const Index i : touched) {
         const auto s = static_cast<std::size_t>(i);
+        // mips-tidy: allow(float-accumulation): this IS the sanctioned
+        // per-K-panel fold — the same total += acc rounding the dense GEMM
+        // driver performs at each panel boundary.
         scratch->score_acc[s] += scratch->panel_acc[s];
         scratch->panel_acc[s] = 0;
       }

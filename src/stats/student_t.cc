@@ -16,6 +16,7 @@ double LogGamma(double x) {
   double tmp = x + 5.5;
   tmp -= (x + 0.5) * std::log(tmp);
   double ser = 1.000000000190015;
+  // mips-tidy: allow(float-accumulation): Lanczos series, fixed 6 terms.
   for (double c : kCoef) ser += c / ++y;
   return -tmp + std::log(2.5066282746310005 * ser / x);
 }

@@ -57,6 +57,8 @@ TEST(SvdTransformTest, ConcentratesEnergyInHead) {
   std::vector<Real> energy(16, 0);
   for (Index r = 0; r < transformed.rows(); ++r) {
     for (Index c = 0; c < 16; ++c) {
+      // mips-tidy: allow(float-accumulation): per-coordinate energy check
+      // of the SVD rotation, compared with a relative tolerance.
       energy[static_cast<std::size_t>(c)] +=
           transformed(r, c) * transformed(r, c);
     }

@@ -617,6 +617,8 @@ TEST(SymEigenTest, ReconstructsRandomSymmetric) {
     for (Index j = 0; j < n; ++j) {
       Real sum = 0;
       for (Index r = 0; r < n; ++r) {
+        // mips-tidy: allow(float-accumulation): naive reconstruction
+        // reference for the eigendecomposition, EXPECT_NEAR with 1e-8.
         sum += eig.values[static_cast<std::size_t>(r)] * eig.vectors(r, i) *
                eig.vectors(r, j);
       }

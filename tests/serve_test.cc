@@ -12,12 +12,12 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
-#include <condition_variable>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/engine.h"
 #include "core/serving.h"
 #include "serve/batching_engine.h"
@@ -194,10 +194,10 @@ class FakeBackend {
   BatchingEngine::Backend AsBackend() {
     return [this](const Real* vectors, Index rows, Index k, TopKResult* out) {
       {
-        std::unique_lock<std::mutex> lock(mu_);
+        MutexLock lock(mu_);
         ++calls_;
         batch_rows_.push_back(rows);
-        cv_.wait(lock, [this] { return !paused_; });
+        while (paused_) cv_.Wait(lock);
       }
       *out = TopKResult(rows, k);
       for (Index r = 0; r < rows; ++r) {
@@ -216,33 +216,33 @@ class FakeBackend {
     };
   }
 
-  void Pause() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Pause() EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     paused_ = true;
   }
-  void Release() {
+  void Release() EXCLUDES(mu_) {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       paused_ = false;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
   }
-  std::vector<Index> batch_rows() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Index> batch_rows() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return batch_rows_;
   }
-  int calls() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  int calls() const EXCLUDES(mu_) {
+    MutexLock lock(mu_);
     return calls_;
   }
 
  private:
   Index num_factors_;
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  bool paused_ = false;
-  int calls_ = 0;
-  std::vector<Index> batch_rows_;
+  mutable Mutex mu_;
+  CondVar cv_;
+  bool paused_ GUARDED_BY(mu_) = false;
+  int calls_ GUARDED_BY(mu_) = 0;
+  std::vector<Index> batch_rows_ GUARDED_BY(mu_);
 };
 
 constexpr Index kF = 4;

@@ -37,9 +37,12 @@ TEST(WelfordTest, MatchesTwoPassFormulas) {
     w.Add(x);
   }
   double mean = 0;
+  // mips-tidy: allow(float-accumulation): naive two-pass reference the
+  // Welford accumulator is differentially tested against.
   for (double x : xs) mean += x;
   mean /= static_cast<double>(xs.size());
   double var = 0;
+  // mips-tidy: allow(float-accumulation): naive two-pass reference.
   for (double x : xs) var += (x - mean) * (x - mean);
   var /= static_cast<double>(xs.size() - 1);
 

@@ -1,0 +1,39 @@
+// mips-float-accumulation BAD fixture: raw floating-point reductions
+// outside the kernel TUs.  Each must produce a diagnostic.
+
+#include <cstddef>
+#include <numeric>
+#include <vector>
+
+namespace fixture {
+
+using Real = float;
+
+Real RawDotLoop(const Real* a, const Real* b, int n) {
+  Real acc = 0;
+  for (int i = 0; i < n; ++i) {
+    // A second reduction order for a score-shaped sum: the compiler may
+    // vectorise this differently from the dispatched kernels.
+    // expect-diagnostic: raw floating-point accumulation
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+double RawSumWhileLoop(const std::vector<double>& xs) {
+  double sum = 0;
+  std::size_t i = 0;
+  while (i < xs.size()) {
+    // expect-diagnostic: raw floating-point accumulation
+    sum += xs[i];
+    ++i;
+  }
+  return sum;
+}
+
+double StdAccumulateFold(const std::vector<double>& xs) {
+  // expect-diagnostic: std::accumulate/std::reduce
+  return std::accumulate(xs.begin(), xs.end(), 0.0);
+}
+
+}  // namespace fixture

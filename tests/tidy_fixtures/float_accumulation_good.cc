@@ -1,0 +1,53 @@
+// mips-float-accumulation GOOD fixture: the sanctioned ways to sum
+// floating-point values.  Must produce no diagnostics.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace fixture {
+
+using Real = float;
+
+// Stands in for the dispatched kernel entry point (linalg/blas.h): the
+// check exempts accumulation of Dot results by callee name.
+Real Dot(const Real* a, const Real* b, int n);
+
+Real CheckpointedFold(const Real* a, const Real* b,
+                      const std::vector<int>& checkpoints, int n) {
+  Real partial = 0;
+  int start = 0;
+  for (std::size_t c = 0; c < checkpoints.size(); ++c) {
+    // Accumulating KERNEL results over a fixed segmentation: the inner
+    // reduction order is pinned inside Dot, the outer fold is source
+    // structure.  This is the LEMP incremental-pruning idiom.
+    partial += Dot(a + start, b + start, checkpoints[c] - start);
+    start = checkpoints[c];
+  }
+  partial += Dot(a + start, b + start, n - start);
+  return partial;
+}
+
+int64_t IntegerAccumulation(const int32_t* xs, int n) {
+  int64_t acc = 0;
+  // Integer sums are associative; no reduction-order hazard.
+  for (int i = 0; i < n; ++i) acc += xs[i];
+  return acc;
+}
+
+double WaivedTimingSum(const std::vector<double>& stage_seconds) {
+  double total = 0;
+  for (double s : stage_seconds) {
+    // mips-tidy: allow(float-accumulation): timing aggregation, not a score
+    total += s;
+  }
+  return total;
+}
+
+Real NotInALoop(Real a, Real b) {
+  Real acc = a;
+  acc += b;  // a single fold is one order by construction
+  return acc;
+}
+
+}  // namespace fixture

@@ -1,0 +1,45 @@
+// mips-heap-bound-strictness BAD fixture: non-strict prunes against the
+// heap minimum, in the three spellings the check knows.  Each must
+// produce a diagnostic.
+
+#include <vector>
+
+#include "topk/topk_heap.h"
+
+namespace fixture {
+
+using mips::Index;
+using mips::Real;
+using mips::TopKHeap;
+
+void DirectNonStrictPrune(TopKHeap& heap, const std::vector<Real>& bounds,
+                          const std::vector<Real>& scores) {
+  for (Index pos = 0; pos < static_cast<Index>(bounds.size()); ++pos) {
+    // expect-diagnostic: non-strict '<=' prune
+    if (heap.full() && bounds[static_cast<std::size_t>(pos)] <= heap.MinScore()) {
+      break;
+    }
+    heap.Push(pos, scores[static_cast<std::size_t>(pos)]);
+  }
+}
+
+void ReversedNonStrictPrune(TopKHeap& heap, Real bound, Index id,
+                            Real score) {
+  // expect-diagnostic: non-strict '>=' prune
+  if (heap.full() && heap.MinScore() >= bound) return;
+  heap.Push(id, score);
+}
+
+void SnapshotNonStrictPrune(TopKHeap& heap, const std::vector<Real>& bounds,
+                            const std::vector<Real>& scores) {
+  const Real min_h = heap.MinScore();
+  for (Index pos = 0; pos < static_cast<Index>(bounds.size()); ++pos) {
+    // expect-diagnostic: non-strict '<=' prune
+    if (heap.full() && bounds[static_cast<std::size_t>(pos)] <= min_h) {
+      continue;
+    }
+    heap.Push(pos, scores[static_cast<std::size_t>(pos)]);
+  }
+}
+
+}  // namespace fixture

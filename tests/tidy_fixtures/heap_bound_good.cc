@@ -1,0 +1,53 @@
+// mips-heap-bound-strictness GOOD fixture: the sanctioned comparison
+// shapes.  Must produce no diagnostics — in particular not on
+// WouldAccept's own inclusive `>=` (heap on the right), nor on threshold
+// guards against compile-time constants.
+
+#include <vector>
+
+#include "topk/topk_heap.h"
+
+namespace fixture {
+
+using mips::Index;
+using mips::Real;
+using mips::TopKHeap;
+
+void StrictPrune(TopKHeap& heap, const std::vector<Real>& bounds,
+                 const std::vector<Real>& scores) {
+  for (Index pos = 0; pos < static_cast<Index>(bounds.size()); ++pos) {
+    // The correct prune: strictly below the minimum, so a bound that
+    // ties the heap minimum still reaches Push for the id tie-break.
+    if (heap.full() && bounds[static_cast<std::size_t>(pos)] < heap.MinScore()) {
+      break;
+    }
+    heap.Push(pos, scores[static_cast<std::size_t>(pos)]);
+  }
+}
+
+void SnapshotStrictPrune(TopKHeap& heap, const std::vector<Real>& bounds,
+                         const std::vector<Real>& scores) {
+  const Real min_h = heap.MinScore();
+  for (Index pos = 0; pos < static_cast<Index>(bounds.size()); ++pos) {
+    if (heap.full() && bounds[static_cast<std::size_t>(pos)] < min_h) continue;
+    heap.Push(pos, scores[static_cast<std::size_t>(pos)]);
+  }
+}
+
+bool InclusiveAccept(const TopKHeap& heap, Real score) {
+  // The inclusive ACCEPT test (WouldAccept's own body): ties must be
+  // accepted, so `>=` with the heap minimum on the RIGHT is correct.
+  return score >= heap.MinScore();
+}
+
+bool PreferTheNamedApi(const TopKHeap& heap, Real score) {
+  return heap.WouldAccept(score);
+}
+
+bool PruningUsable(const TopKHeap& heap) {
+  // Threshold guard against a compile-time constant: decides whether
+  // cutoffs apply at all; skipping pruning is always exact.
+  return heap.full() && !(heap.MinScore() <= Real{0});
+}
+
+}  // namespace fixture

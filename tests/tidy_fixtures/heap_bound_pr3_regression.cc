@@ -1,0 +1,51 @@
+// mips-heap-bound-strictness REGRESSION fixture: the PR 3 bug, verbatim.
+//
+// Before PR 3's fix, the MAXIMUS norm-sorted index walk terminated on
+// `bound <= heap.MinScore()`.  An item whose upper bound EQUALS the heap
+// minimum can still hold a score that exactly ties the minimum — with
+// duplicate items (or any exact score tie) the bound is tight — and
+// skipping it means the reported item id depends on which shard/visit
+// order reached the tie first, instead of on the library-wide
+// BetterEntry order (score desc, item id asc).  Sharded and unsharded
+// runs then return different-but-equal-scoring ids and the bit-for-bit
+// sharding test fails.  The fix (src/core/maximus.cc, and the identical
+// prunes in lemp.cc / fexipro.cc) is the strict `<`.
+//
+// This file reproduces the pre-fix walk so the check demonstrably
+// catches the original bug.
+
+#include <vector>
+
+#include "topk/topk_heap.h"
+
+namespace fixture {
+
+using mips::Index;
+using mips::Real;
+using mips::TopKHeap;
+
+struct NormSortedList {
+  std::vector<Real> bounds;     // upper bound per position, descending
+  std::vector<Index> item_ids;  // item id per position
+};
+
+void QueryIndexPr3(const NormSortedList& list, const std::vector<Real>& scores,
+                   Index k, mips::TopKEntry* out_row) {
+  TopKHeap heap(k);
+  const Index n = static_cast<Index>(list.bounds.size());
+  for (Index pos = 0; pos < n; ++pos) {
+    // The PR 3 `<=`-bound tie bug: terminates on a bound that can still
+    // cover a score tying the heap minimum.
+    // expect-diagnostic: non-strict '<=' prune
+    // expect-diagnostic: mips-heap-bound-strictness
+    if (heap.full() &&
+        list.bounds[static_cast<std::size_t>(pos)] <= heap.MinScore()) {
+      break;
+    }
+    const Index id = list.item_ids[static_cast<std::size_t>(pos)];
+    heap.Push(id, scores[static_cast<std::size_t>(id)]);
+  }
+  heap.ExtractDescending(out_row);
+}
+
+}  // namespace fixture

@@ -1,0 +1,50 @@
+// mips-raw-sync BAD fixture: every declaration below reaches for the raw
+// std synchronisation vocabulary outside src/common/, which the
+// thread-safety analysis cannot attach capabilities to.  Each use must
+// produce a mips-raw-sync diagnostic.
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+namespace fixture {
+
+class BadQueue {
+ public:
+  void Push(int v) {
+    // expect-diagnostic: raw 'std::lock_guard'
+    std::lock_guard<std::mutex> lock(mu_);
+    value_ = v;
+    cv_.notify_one();
+  }
+
+  int Pop() {
+    // expect-diagnostic: raw 'std::unique_lock'
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock);
+    return value_;
+  }
+
+ private:
+  // expect-diagnostic: raw 'std::mutex'
+  std::mutex mu_;
+  // expect-diagnostic: raw 'std::condition_variable'
+  std::condition_variable cv_;
+  int value_ = 0;
+};
+
+class BadCache {
+ public:
+  int Read() const {
+    // expect-diagnostic: raw 'std::shared_lock'
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    return value_;
+  }
+
+ private:
+  // expect-diagnostic: raw 'std::shared_mutex'
+  mutable std::shared_mutex mu_;
+  int value_ = 0;
+};
+
+}  // namespace fixture

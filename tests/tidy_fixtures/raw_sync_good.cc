@@ -1,0 +1,43 @@
+// mips-raw-sync GOOD fixture: the same structures written with the
+// annotated wrappers from common/mutex.h.  Must produce no mips-raw-sync
+// diagnostics — including none leaking from mutex.h itself, whose
+// internal std members are the one sanctioned home of the raw types.
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+class GoodQueue {
+ public:
+  void Push(int v) EXCLUDES(mu_) {
+    mips::MutexLock lock(mu_);
+    value_ = v;
+    cv_.NotifyOne();
+  }
+
+  int Pop() EXCLUDES(mu_) {
+    mips::MutexLock lock(mu_);
+    cv_.Wait(lock);
+    return value_;
+  }
+
+ private:
+  mips::Mutex mu_;
+  mips::CondVar cv_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+class GoodCache {
+ public:
+  int Read() const EXCLUDES(mu_) {
+    mips::ReaderMutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  mutable mips::SharedMutex mu_;
+  int value_ GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,79 @@
+# Runs clang-tidy with the mips-tidy plugin over one fixture and diffs
+# the findings against the fixture's own `// expect-diagnostic:` lines.
+#
+#   MODE=bad   every expect-diagnostic substring must appear, and the
+#              check name itself must fire at least once
+#   MODE=good  no mips-* diagnostic may appear at all
+#
+# Prints "[SKIP] ..." (matched by the tests' SKIP_REGULAR_EXPRESSION)
+# instead of failing when the plugin or tool is missing, so a build
+# without LLVM/Clang dev packages passes ctest with these tests skipped.
+#
+# Inputs: -DTIDY= -DPLUGIN= -DFIXTURE= -DCHECK= -DMODE= -DSRC_DIR=
+
+foreach(var TIDY PLUGIN FIXTURE CHECK MODE SRC_DIR)
+  if(NOT DEFINED ${var})
+    message(FATAL_ERROR "run_tidy_fixture.cmake: missing -D${var}=")
+  endif()
+endforeach()
+
+if(NOT EXISTS "${PLUGIN}")
+  message(STATUS "[SKIP] mips-tidy plugin not built (${PLUGIN})")
+  return()
+endif()
+if(NOT EXISTS "${TIDY}")
+  message(STATUS "[SKIP] clang-tidy not available (${TIDY})")
+  return()
+endif()
+
+execute_process(
+  COMMAND "${TIDY}" "--load=${PLUGIN}" "--checks=-*,${CHECK}"
+          "--header-filter=.*" --quiet "${FIXTURE}"
+          -- -std=c++20 -w "-I${SRC_DIR}"
+  OUTPUT_VARIABLE TIDY_OUT
+  ERROR_VARIABLE TIDY_ERR
+  RESULT_VARIABLE TIDY_RC)
+set(TIDY_ALL "${TIDY_OUT}\n${TIDY_ERR}")
+
+if(NOT TIDY_RC EQUAL 0)
+  message(FATAL_ERROR
+      "clang-tidy failed (rc=${TIDY_RC}) on ${FIXTURE}:\n${TIDY_ALL}")
+endif()
+
+if(MODE STREQUAL "bad")
+  # The check must prove itself live on its bad fixture.
+  string(FIND "${TIDY_ALL}" "[${CHECK}]" CHECK_POS)
+  if(CHECK_POS EQUAL -1)
+    message(FATAL_ERROR
+        "expected at least one [${CHECK}] diagnostic on ${FIXTURE}, "
+        "got none:\n${TIDY_ALL}")
+  endif()
+  file(READ "${FIXTURE}" FIXTURE_TEXT)
+  string(REGEX MATCHALL "expect-diagnostic: [^\n]*" EXPECTED
+         "${FIXTURE_TEXT}")
+  if(NOT EXPECTED)
+    message(FATAL_ERROR
+        "bad fixture ${FIXTURE} declares no expect-diagnostic lines")
+  endif()
+  foreach(line IN LISTS EXPECTED)
+    string(REPLACE "expect-diagnostic: " "" needle "${line}")
+    string(STRIP "${needle}" needle)
+    string(FIND "${TIDY_ALL}" "${needle}" POS)
+    if(POS EQUAL -1)
+      message(FATAL_ERROR
+          "missing expected diagnostic \"${needle}\" on ${FIXTURE}; "
+          "clang-tidy output:\n${TIDY_ALL}")
+    endif()
+  endforeach()
+elseif(MODE STREQUAL "good")
+  string(FIND "${TIDY_ALL}" "[mips-" POS)
+  if(NOT POS EQUAL -1)
+    message(FATAL_ERROR
+        "good fixture ${FIXTURE} must stay silent, but produced:\n"
+        "${TIDY_ALL}")
+  endif()
+else()
+  message(FATAL_ERROR "unknown MODE '${MODE}' (want bad|good)")
+endif()
+
+message(STATUS "OK (${MODE}): ${FIXTURE}")

@@ -1,0 +1,39 @@
+// mips-unchecked-status BAD fixture: Status/StatusOr results silently
+// discarded.  Each must produce a diagnostic.
+
+#include <string>
+
+#include "common/status.h"
+
+namespace fixture {
+
+using mips::Status;
+using mips::StatusOr;
+
+Status DoThing();
+StatusOr<int> ComputeThing();
+
+void DiscardInCompound() {
+  // expect-diagnostic: result of 'DoThing'
+  DoThing();
+}
+
+void DiscardStatusOr() {
+  // expect-diagnostic: result of 'ComputeThing'
+  ComputeThing();
+}
+
+void DiscardAsIfBody(bool retry) {
+  if (retry)
+    // expect-diagnostic: result of 'DoThing'
+    DoThing();
+}
+
+void DiscardInLoop(int n) {
+  for (int i = 0; i < n; ++i) {
+    // expect-diagnostic: result of 'DoThing'
+    DoThing();
+  }
+}
+
+}  // namespace fixture

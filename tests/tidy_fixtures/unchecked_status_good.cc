@@ -1,0 +1,42 @@
+// mips-unchecked-status GOOD fixture: every sanctioned way to consume a
+// Status/StatusOr.  Must produce no diagnostics.
+
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+namespace fixture {
+
+using mips::Status;
+using mips::StatusOr;
+
+Status DoThing();
+StatusOr<int> ComputeThing();
+
+Status PropagateWithMacro() {
+  MIPS_RETURN_IF_ERROR(DoThing());
+  return Status::OK();
+}
+
+Status HandleExplicitly() {
+  Status st = DoThing();
+  if (!st.ok()) return st;
+  StatusOr<int> value = ComputeThing();
+  if (!value.ok()) return value.status();
+  return Status::OK();
+}
+
+void AssertAtApplicationBoundary() {
+  DoThing().CheckOK();
+}
+
+void VisibleDiscard() {
+  // A (void) cast is a reviewed, greppable discard — same rule as
+  // [[nodiscard]].
+  (void)DoThing();
+}
+
+bool UseTheValue() { return DoThing().ok(); }
+
+}  // namespace fixture

@@ -1,0 +1,142 @@
+#include "FloatAccumulationCheck.h"
+
+#include "MipsTidyUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "llvm/ADT/SmallVector.h"
+#include "llvm/ADT/StringRef.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::mips {
+
+namespace {
+
+std::vector<std::string> SplitList(llvm::StringRef Joined) {
+  llvm::SmallVector<llvm::StringRef, 8> Parts;
+  Joined.split(Parts, ';', /*MaxSplit=*/-1, /*KeepEmpty=*/false);
+  std::vector<std::string> Out;
+  for (llvm::StringRef P : Parts) Out.push_back(P.trim().str());
+  return Out;
+}
+
+/// Nearest enclosing FunctionDecl, walking the parent map (crosses
+/// statement and lambda boundaries).
+const FunctionDecl *EnclosingFunction(ASTContext &Ctx, const Stmt &S) {
+  auto Parents = Ctx.getParents(S);
+  while (!Parents.empty()) {
+    const auto &Parent = Parents[0];
+    if (const auto *FD = Parent.get<FunctionDecl>()) return FD;
+    if (const auto *PS = Parent.get<Stmt>()) {
+      Parents = Ctx.getParents(*PS);
+      continue;
+    }
+    if (const auto *PD = Parent.get<Decl>()) {
+      if (const auto *FD = dyn_cast<FunctionDecl>(PD)) return FD;
+      Parents = Ctx.getParents(*PD);
+      continue;
+    }
+    break;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+FloatAccumulationCheck::FloatAccumulationCheck(StringRef Name,
+                                               ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      KernelPathPattern(
+          Options.get("KernelPathPattern", "(^|/)(src/linalg|tools)/")),
+      KernelPathRegex(KernelPathPattern),
+      WhitelistedFunctions(
+          Options.get("WhitelistedFunctions", "GemmEquivalentDot")),
+      WhitelistedFunctionList(SplitList(WhitelistedFunctions)),
+      AllowedCallees(Options.get("AllowedCallees", "Dot;GemmEquivalentDot")),
+      AllowedCalleeList(SplitList(AllowedCallees)) {}
+
+void FloatAccumulationCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "KernelPathPattern", KernelPathPattern);
+  Options.store(Opts, "WhitelistedFunctions", WhitelistedFunctions);
+  Options.store(Opts, "AllowedCallees", AllowedCallees);
+}
+
+void FloatAccumulationCheck::registerMatchers(MatchFinder *Finder) {
+  const auto InsideLoop = hasAncestor(
+      stmt(anyOf(forStmt(), whileStmt(), doStmt(), cxxForRangeStmt())));
+  // Builtin compound assignment; overloaded operator+= on class types is
+  // not a raw float reduction and is ignored.
+  Finder->addMatcher(
+      binaryOperator(hasAnyOperatorName("+=", "-="), InsideLoop).bind("acc"),
+      this);
+  // std::accumulate / std::reduce ARE reduction loops, wherever they sit.
+  Finder->addMatcher(
+      callExpr(callee(functionDecl(
+                   hasAnyName("::std::accumulate", "::std::reduce"))))
+          .bind("fold"),
+      this);
+}
+
+bool FloatAccumulationCheck::isExemptLocation(const SourceManager &SM,
+                                              SourceLocation Loc) const {
+  if (Loc.isInvalid() || SM.isInSystemHeader(Loc)) return true;
+  const StringRef File = FileNameOf(SM, Loc);
+  if (File.empty() || KernelPathRegex.match(File)) return true;
+  return HasAllowComment(SM, Loc, "float-accumulation");
+}
+
+bool FloatAccumulationCheck::isWhitelistedFunction(
+    const MatchFinder::MatchResult &Result, const Stmt *S) const {
+  const FunctionDecl *FD = EnclosingFunction(*Result.Context, *S);
+  if (FD == nullptr) return false;
+  const StringRef Name = FD->getName();
+  for (const std::string &W : WhitelistedFunctionList) {
+    if (Name == W) return true;
+  }
+  return false;
+}
+
+void FloatAccumulationCheck::check(const MatchFinder::MatchResult &Result) {
+  const SourceManager &SM = *Result.SourceManager;
+
+  if (const auto *Acc = Result.Nodes.getNodeAs<BinaryOperator>("acc")) {
+    const QualType LhsTy = Acc->getLHS()->getType();
+    if (LhsTy.isNull() ||
+        !LhsTy.getCanonicalType()->isRealFloatingType()) {
+      return;
+    }
+    const SourceLocation Loc = SM.getExpansionLoc(Acc->getOperatorLoc());
+    if (isExemptLocation(SM, Loc)) return;
+    if (isWhitelistedFunction(Result, Acc)) return;
+    // `acc += Dot(...)`: the reduction is inside the dispatched kernel;
+    // the outer fold's segmentation is fixed source structure.
+    if (const auto *Call =
+            dyn_cast<CallExpr>(Acc->getRHS()->IgnoreParenImpCasts())) {
+      if (const FunctionDecl *Callee = Call->getDirectCallee()) {
+        const StringRef Name = Callee->getName();
+        for (const std::string &A : AllowedCalleeList) {
+          if (Name == A) return;
+        }
+      }
+    }
+    diag(Loc,
+         "raw floating-point accumulation in a loop introduces a second "
+         "reduction order; route the sum through the dispatched kernels "
+         "(Dot / GemmNT) or the documented per-K-panel fold, or waive "
+         "with '// mips-tidy: allow(float-accumulation): <reason>'");
+    return;
+  }
+
+  if (const auto *Fold = Result.Nodes.getNodeAs<CallExpr>("fold")) {
+    if (!Fold->getType().getCanonicalType()->isRealFloatingType()) return;
+    const SourceLocation Loc = SM.getExpansionLoc(Fold->getBeginLoc());
+    if (isExemptLocation(SM, Loc)) return;
+    if (isWhitelistedFunction(Result, Fold)) return;
+    diag(Loc,
+         "std::accumulate/std::reduce over floating-point values is an "
+         "unpinned reduction order; use the dispatched kernels or waive "
+         "with '// mips-tidy: allow(float-accumulation): <reason>'");
+  }
+}
+
+}  // namespace clang::tidy::mips

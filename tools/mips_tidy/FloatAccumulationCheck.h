@@ -1,0 +1,71 @@
+// mips-float-accumulation
+//
+// Rationale:
+//
+//   The library's exactness story ("bit-for-bit identical top-k across
+//   kernels, shards, batches, and representations") works because every
+//   score is produced by ONE reduction order: the dispatched kernels in
+//   src/linalg/ (Dot, GemmNT) and the documented per-K-panel fold that
+//   CsrMatrix::GemmEquivalentDot and the SINDI posting walks replicate.
+//   A raw floating-point accumulation loop anywhere else introduces a
+//   second association order; the compiler may vectorise it differently
+//   per TU / per -march, and scores silently diverge between solvers —
+//   the PR 4 edge-tile ulp bug class.
+//
+// What the check flags: a `+=` / `-=` whose left side has floating-point
+// type, lexically inside a loop, plus any std::accumulate / std::reduce
+// over floating-point values — outside the whitelisted kernel TUs
+// (src/linalg/ by default) and whitelisted functions
+// (CsrMatrix::GemmEquivalentDot).
+//
+// What it accepts without a suppression: accumulating the RESULTS of the
+// dispatched kernels (`acc += Dot(...)`) — that is precisely "routing
+// through the fixed-reduction kernels"; the segmentation of the outer
+// fold is deterministic source structure, not compiler choice.
+//
+// Everything else needs an explicit, reasoned waiver:
+//
+//   // mips-tidy: allow(float-accumulation): <why this sum is not a score>
+//
+// Typical legitimate reasons: timing/statistics aggregation, conservative
+// pruning bounds (any rounding merely makes pruning lazier or is already
+// covered by slack), training-loop gradients, synthetic data generation.
+
+#ifndef MIPS_TOOLS_MIPS_TIDY_FLOAT_ACCUMULATION_CHECK_H_
+#define MIPS_TOOLS_MIPS_TIDY_FLOAT_ACCUMULATION_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/Support/Regex.h"
+
+namespace clang::tidy::mips {
+
+class FloatAccumulationCheck : public ClangTidyCheck {
+ public:
+  FloatAccumulationCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  bool isExemptLocation(const SourceManager &SM, SourceLocation Loc) const;
+  bool isWhitelistedFunction(const ast_matchers::MatchFinder::MatchResult
+                                 &Result,
+                             const Stmt *S) const;
+
+  /// TUs that ARE the fixed reduction order (the kernel directory).
+  const std::string KernelPathPattern;
+  llvm::Regex KernelPathRegex;
+  /// Functions that replicate the documented per-K-panel fold.
+  const std::string WhitelistedFunctions;  // semicolon-separated
+  std::vector<std::string> WhitelistedFunctionList;
+  /// Callees whose results may be accumulated (the dispatched kernels).
+  const std::string AllowedCallees;  // semicolon-separated
+  std::vector<std::string> AllowedCalleeList;
+};
+
+}  // namespace clang::tidy::mips
+
+#endif  // MIPS_TOOLS_MIPS_TIDY_FLOAT_ACCUMULATION_CHECK_H_

@@ -1,0 +1,59 @@
+#include "HeapBoundStrictnessCheck.h"
+
+#include "MipsTidyUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::mips {
+
+void HeapBoundStrictnessCheck::registerMatchers(MatchFinder *Finder) {
+  // heap.MinScore() — on the heap type itself, so unrelated MinScore()
+  // methods elsewhere never trigger.
+  const auto MinScoreCall = cxxMemberCallExpr(callee(
+      cxxMethodDecl(hasName("MinScore"), ofClass(hasName("::mips::TopKHeap")))));
+  // ... or a local snapshot of it: `const Real min_h = heap.MinScore();`
+  // (the idiom the solver walks use to hoist the call out of the loop).
+  const auto MinScoreSnapshot = declRefExpr(to(varDecl(hasInitializer(
+      ignoringParenImpCasts(MinScoreCall)))));
+  const auto HeapMin =
+      expr(ignoringParenImpCasts(expr(anyOf(MinScoreCall, MinScoreSnapshot))));
+
+  // `bound <= MinScore()` — prune allowed at equality: drops exact ties.
+  Finder->addMatcher(binaryOperator(hasOperatorName("<="), hasRHS(HeapMin),
+                                    hasLHS(expr().bind("bound")))
+                         .bind("cmp"),
+                     this);
+  // `MinScore() >= bound` — the same predicate, reversed.
+  Finder->addMatcher(binaryOperator(hasOperatorName(">="), hasLHS(HeapMin),
+                                    hasRHS(expr().bind("bound")))
+                         .bind("cmp"),
+                     this);
+}
+
+void HeapBoundStrictnessCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Cmp = Result.Nodes.getNodeAs<BinaryOperator>("cmp");
+  const auto *Bound = Result.Nodes.getNodeAs<Expr>("bound");
+  if (Cmp == nullptr || Bound == nullptr) return;
+  // A compile-time-constant operand is a threshold guard (e.g.
+  // `MinScore() <= 0` deciding whether pruning is usable at all), not a
+  // per-candidate bound; skipping pruning is always exact.
+  if (!Bound->isValueDependent() && Bound->isEvaluatable(*Result.Context)) {
+    return;
+  }
+  const SourceManager &SM = *Result.SourceManager;
+  const SourceLocation Loc = SM.getExpansionLoc(Cmp->getOperatorLoc());
+  if (Loc.isInvalid() || SM.isInSystemHeader(Loc)) return;
+  if (HasAllowComment(SM, Loc, "heap-bound-strictness")) return;
+
+  diag(Loc,
+       "non-strict '%0' prune against TopKHeap::MinScore() can drop an "
+       "item whose score ties the heap minimum, breaking the "
+       "deterministic BetterEntry tie order; prune with a strict "
+       "comparison ('bound < MinScore()') or test acceptance with "
+       "WouldAccept()")
+      << BinaryOperator::getOpcodeStr(Cmp->getOpcode());
+}
+
+}  // namespace clang::tidy::mips

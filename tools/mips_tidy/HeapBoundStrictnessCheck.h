@@ -1,0 +1,57 @@
+// mips-heap-bound-strictness
+//
+// Rationale:
+//
+//   TopKHeap accepts candidates with `score >= MinScore()` so that Push
+//   can apply the library-wide deterministic tie order (BetterEntry:
+//   higher score, then lower item id).  Index walks must therefore prune
+//   on `bound < MinScore()` — STRICTLY below the heap minimum — because
+//   an upper bound exactly equal to the minimum can still cover a score
+//   that TIES it, and the tied item must reach Push for the id
+//   tie-break.  A `<=` prune drops such an item and makes the reported
+//   ids depend on visit order: this was the PR 3 sharded-tie bug, found
+//   in review then; found at compile time now.
+//
+// What the check flags — a non-strict comparison that places the heap
+// minimum on the "allowed to be equal and still prune" side:
+//
+//     bound <= heap.MinScore()          // flagged
+//     heap.MinScore() >= bound          // flagged (same predicate)
+//     bound <= min_h                    // flagged when
+//                                       //   Real min_h = heap.MinScore();
+//
+// What it deliberately does not flag:
+//
+//     bound < heap.MinScore()           // the correct strict prune
+//     score >= heap.MinScore()          // the inclusive ACCEPT test —
+//                                       // this is WouldAccept's own body
+//     heap.MinScore() <= 0              // threshold guards against a
+//                                       // compile-time constant: a
+//                                       // constant is not a per-item
+//                                       // bound, and skipping pruning is
+//                                       // always exact
+//
+// Known limitation (reviewed, accepted): a strict accept test written as
+// `bound > MinScore()` is the same bug in accept-direction clothing but
+// is textually identical to the valid reversed prune, so it cannot be
+// distinguished syntactically.  Use WouldAccept for accept tests.
+//
+// Suppression: `// mips-tidy: allow(heap-bound-strictness): <reason>`.
+
+#ifndef MIPS_TOOLS_MIPS_TIDY_HEAP_BOUND_STRICTNESS_CHECK_H_
+#define MIPS_TOOLS_MIPS_TIDY_HEAP_BOUND_STRICTNESS_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::mips {
+
+class HeapBoundStrictnessCheck : public ClangTidyCheck {
+ public:
+  using ClangTidyCheck::ClangTidyCheck;
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::mips
+
+#endif  // MIPS_TOOLS_MIPS_TIDY_HEAP_BOUND_STRICTNESS_CHECK_H_

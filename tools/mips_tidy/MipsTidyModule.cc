@@ -1,0 +1,61 @@
+// mips-tidy: the library's contracts as machine-checked clang-tidy rules.
+//
+// This module is loaded out-of-tree:
+//
+//   clang-tidy --load=build/tools/mips_tidy/libmips_tidy.so \
+//              --checks='-*,mips-*' --list-checks
+//
+// Check family (rationale lives at the top of each check header, in the
+// same every-rule-is-a-contract style as the repo's .clang-tidy):
+//
+//   mips-raw-sync              std sync primitives outside src/common/
+//                              are invisible to thread-safety analysis
+//                              (PR 2 unlocked-calibration bug class).
+//   mips-heap-bound-strictness non-strict prunes against
+//                              TopKHeap::MinScore() drop exact ties
+//                              (PR 3 `<=`-bound bug class).
+//   mips-float-accumulation    raw float reduction loops outside the
+//                              kernel TUs fork the reduction order
+//                              (PR 4 edge-tile ulp bug class).
+//   mips-unchecked-status      a discarded Status/StatusOr loses the
+//                              error channel entirely.
+//
+// The module is version-locked to the clang-tidy that loads it: an
+// out-of-tree plugin resolves its symbols from the clang-tidy binary at
+// dlopen time, so tools/mips_tidy/CMakeLists.txt refuses to configure
+// against a mismatched LLVM and CI pins one major version for both the
+// build and the run.
+
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "FloatAccumulationCheck.h"
+#include "HeapBoundStrictnessCheck.h"
+#include "RawSyncCheck.h"
+#include "UncheckedStatusCheck.h"
+
+namespace clang::tidy {
+namespace mips {
+
+class MipsTidyModule : public ClangTidyModule {
+ public:
+  void addCheckFactories(ClangTidyCheckFactories &Factories) override {
+    Factories.registerCheck<RawSyncCheck>("mips-raw-sync");
+    Factories.registerCheck<HeapBoundStrictnessCheck>(
+        "mips-heap-bound-strictness");
+    Factories.registerCheck<FloatAccumulationCheck>(
+        "mips-float-accumulation");
+    Factories.registerCheck<UncheckedStatusCheck>("mips-unchecked-status");
+  }
+};
+
+}  // namespace mips
+
+// Register the module with the loading clang-tidy's global registry.
+static ClangTidyModuleRegistry::Add<mips::MipsTidyModule> X(
+    "mips-module", "Exactness, sync, and Status contracts of the MIPS library.");
+
+// Anchor so the shared object exports at least one symbol of its own.
+volatile int MipsTidyModuleAnchorSource = 0;
+
+}  // namespace clang::tidy

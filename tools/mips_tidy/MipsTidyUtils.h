@@ -1,0 +1,60 @@
+// Shared helpers for the mips-* clang-tidy checks.
+//
+// The one piece of policy that lives here is the suppression syntax:
+//
+//   // mips-tidy: allow(<check-tag>): <reason>
+//
+// placed on the flagged line or the line directly above it.  Unlike a
+// bare NOLINT, the tag names the specific contract being waived and the
+// grammar demands a reason after the colon, so a suppression reads as a
+// reviewed decision, not a silencing.  (NOLINT still works — clang-tidy
+// honours it before the check runs — but the repo convention is the
+// tagged form; see README "Correctness tooling".)
+
+#ifndef MIPS_TOOLS_MIPS_TIDY_MIPS_TIDY_UTILS_H_
+#define MIPS_TOOLS_MIPS_TIDY_MIPS_TIDY_UTILS_H_
+
+#include "clang/Basic/SourceManager.h"
+#include "llvm/ADT/StringRef.h"
+
+namespace clang::tidy::mips {
+
+/// Returns the text of the line containing `Offset` in `Buffer`.
+inline llvm::StringRef LineContaining(llvm::StringRef Buffer, size_t Offset) {
+  if (Offset >= Buffer.size()) return llvm::StringRef();
+  size_t Begin = Buffer.rfind('\n', Offset);
+  Begin = (Begin == llvm::StringRef::npos) ? 0 : Begin + 1;
+  size_t End = Buffer.find('\n', Offset);
+  if (End == llvm::StringRef::npos) End = Buffer.size();
+  return Buffer.slice(Begin, End);
+}
+
+/// True if the line holding `Loc` — or the line directly above it —
+/// carries a `mips-tidy: allow(<Tag>)` suppression comment.
+inline bool HasAllowComment(const SourceManager &SM, SourceLocation Loc,
+                            llvm::StringRef Tag) {
+  Loc = SM.getExpansionLoc(Loc);
+  if (Loc.isInvalid()) return false;
+  bool Invalid = false;
+  llvm::StringRef Buffer = SM.getBufferData(SM.getFileID(Loc), &Invalid);
+  if (Invalid) return false;
+  const unsigned Offset = SM.getFileOffset(Loc);
+  const std::string Needle = ("mips-tidy: allow(" + Tag + ")").str();
+
+  llvm::StringRef Line = LineContaining(Buffer, Offset);
+  if (Line.contains(Needle)) return true;
+  // Previous line: step to the character before this line's start.
+  size_t Begin = Buffer.rfind('\n', Offset);
+  if (Begin == llvm::StringRef::npos || Begin == 0) return false;
+  return LineContaining(Buffer, Begin - 1).contains(Needle);
+}
+
+/// Filename (as spelled in the compile command) for a location, or empty.
+inline llvm::StringRef FileNameOf(const SourceManager &SM,
+                                  SourceLocation Loc) {
+  return SM.getFilename(SM.getExpansionLoc(Loc));
+}
+
+}  // namespace clang::tidy::mips
+
+#endif  // MIPS_TOOLS_MIPS_TIDY_MIPS_TIDY_UTILS_H_

@@ -1,0 +1,64 @@
+#include "RawSyncCheck.h"
+
+#include "MipsTidyUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::mips {
+
+RawSyncCheck::RawSyncCheck(StringRef Name, ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      ExemptPathPattern(
+          Options.get("ExemptPathPattern", "(^|/)(src/common|tools)/")),
+      ExemptPathRegex(ExemptPathPattern) {}
+
+void RawSyncCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "ExemptPathPattern", ExemptPathPattern);
+}
+
+void RawSyncCheck::registerMatchers(MatchFinder *Finder) {
+  // The raw synchronisation vocabulary.  Matching the *record decl*
+  // through the canonical desugared type catches plain classes
+  // (std::mutex), template specialisations (std::lock_guard<std::mutex>),
+  // and any typedef/alias spelling of either.
+  const auto RawSyncDecl = cxxRecordDecl(hasAnyName(
+      "::std::mutex", "::std::timed_mutex", "::std::recursive_mutex",
+      "::std::recursive_timed_mutex", "::std::shared_mutex",
+      "::std::shared_timed_mutex", "::std::condition_variable",
+      "::std::condition_variable_any", "::std::lock_guard",
+      "::std::unique_lock", "::std::scoped_lock", "::std::shared_lock"));
+  Finder->addMatcher(
+      typeLoc(loc(qualType(hasUnqualifiedDesugaredType(
+                  recordType(hasDeclaration(RawSyncDecl.bind("decl")))))))
+          .bind("typeloc"),
+      this);
+}
+
+void RawSyncCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *TL = Result.Nodes.getNodeAs<TypeLoc>("typeloc");
+  const auto *Decl = Result.Nodes.getNodeAs<CXXRecordDecl>("decl");
+  if (TL == nullptr || Decl == nullptr) return;
+  const SourceManager &SM = *Result.SourceManager;
+  SourceLocation Loc = SM.getExpansionLoc(TL->getBeginLoc());
+  if (Loc.isInvalid() || SM.isInSystemHeader(Loc)) return;
+
+  const StringRef File = FileNameOf(SM, Loc);
+  if (File.empty() || ExemptPathRegex.match(File)) return;
+  if (!ReportedOffsets
+           .insert({SM.getFileID(Loc).getHashValue(), SM.getFileOffset(Loc)})
+           .second) {
+    return;
+  }
+  if (HasAllowComment(SM, Loc, "raw-sync")) return;
+
+  diag(Loc,
+       "raw 'std::%0' bypasses the annotated wrappers in common/mutex.h; "
+       "thread-safety analysis cannot see state it guards — use "
+       "mips::Mutex / mips::SharedMutex / mips::CondVar / the *MutexLock "
+       "guards instead")
+      << Decl->getName();
+}
+
+}  // namespace clang::tidy::mips

@@ -1,0 +1,50 @@
+// mips-raw-sync
+//
+// Rationale (in the spirit of the .clang-tidy header: every check here is
+// a contract, not a preference):
+//
+//   The compile-time locking contract (PR 6) only covers state the
+//   thread-safety analysis can see, and the analysis only sees mutexes
+//   that carry capability attributes — i.e. the annotated Mutex /
+//   SharedMutex / CondVar wrappers in src/common/mutex.h.  A raw
+//   std::mutex is invisible to it: guarded members cannot name it in
+//   GUARDED_BY, functions cannot REQUIRES it, and the clang-threadsafety
+//   CI leg silently proves nothing about any state it protects.  PR 2's
+//   unlocked LEMP calibration was exactly this hole.  Therefore any use
+//   of the raw std synchronisation vocabulary outside src/common/ (where
+//   the wrappers themselves live) is an error.
+//
+// Suppression: `// mips-tidy: allow(raw-sync): <reason>` on the line or
+// the line above — legitimate only in code that interoperates with an
+// external API that hands us a std lock type.
+
+#ifndef MIPS_TOOLS_MIPS_TIDY_RAW_SYNC_CHECK_H_
+#define MIPS_TOOLS_MIPS_TIDY_RAW_SYNC_CHECK_H_
+
+#include <set>
+#include <utility>
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "llvm/Support/Regex.h"
+
+namespace clang::tidy::mips {
+
+class RawSyncCheck : public ClangTidyCheck {
+ public:
+  RawSyncCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  /// Paths where the raw std types are allowed (the wrapper TUs).
+  const std::string ExemptPathPattern;
+  llvm::Regex ExemptPathRegex;
+  /// One diagnostic per source location even if several TypeLocs land on
+  /// the same spelling (elaborated + named type, template args, ...).
+  std::set<std::pair<unsigned, unsigned>> ReportedOffsets;
+};
+
+}  // namespace clang::tidy::mips
+
+#endif  // MIPS_TOOLS_MIPS_TIDY_RAW_SYNC_CHECK_H_

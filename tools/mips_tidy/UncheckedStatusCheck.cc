@@ -1,0 +1,57 @@
+#include "UncheckedStatusCheck.h"
+
+#include "MipsTidyUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::mips {
+
+void UncheckedStatusCheck::registerMatchers(MatchFinder *Finder) {
+  // Functions returning Status or any StatusOr<T> specialisation BY
+  // VALUE.  Reference-returning accessors (StatusOr::status()) carry no
+  // ownership of the error and are not flagged.
+  const auto ReturnsStatus = returns(hasCanonicalType(hasDeclaration(
+      namedDecl(hasAnyName("::mips::Status", "::mips::StatusOr")))));
+  const auto FallibleCall =
+      callExpr(callee(functionDecl(ReturnsStatus))).bind("call");
+  // `ignoringImplicit` strips the ExprWithCleanups / CXXBindTemporaryExpr
+  // shells around a discarded prvalue of class type, but NOT an explicit
+  // `(void)` cast — so `(void)DoThing();` stays a legal, visible discard.
+  const auto Discarded = expr(ignoringImplicit(FallibleCall));
+
+  Finder->addMatcher(compoundStmt(forEach(Discarded)), this);
+  Finder->addMatcher(
+      ifStmt(eachOf(hasThen(Discarded), hasElse(Discarded))), this);
+  Finder->addMatcher(whileStmt(hasBody(Discarded)), this);
+  Finder->addMatcher(doStmt(hasBody(Discarded)), this);
+  Finder->addMatcher(forStmt(eachOf(hasLoopInit(Discarded),
+                                    hasIncrement(Discarded),
+                                    hasBody(Discarded))),
+                     this);
+  Finder->addMatcher(cxxForRangeStmt(hasBody(Discarded)), this);
+  Finder->addMatcher(switchCase(forEach(Discarded)), this);
+  Finder->addMatcher(
+      binaryOperator(hasOperatorName(","), hasLHS(Discarded)), this);
+}
+
+void UncheckedStatusCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Call = Result.Nodes.getNodeAs<CallExpr>("call");
+  if (Call == nullptr) return;
+  const SourceManager &SM = *Result.SourceManager;
+  const SourceLocation Loc = SM.getExpansionLoc(Call->getBeginLoc());
+  if (Loc.isInvalid() || SM.isInSystemHeader(Loc)) return;
+  if (HasAllowComment(SM, Loc, "unchecked-status")) return;
+
+  // The matcher requires a functionDecl callee, so this cannot be null.
+  const FunctionDecl *Callee = Call->getDirectCallee();
+  if (Callee == nullptr) return;
+  diag(Loc,
+       "result of %0 (a Status/StatusOr) is discarded — the error channel "
+       "is lost; handle it, propagate with MIPS_RETURN_IF_ERROR, assert "
+       "with CheckOK(), or discard visibly with a (void) cast")
+      << Callee;
+}
+
+}  // namespace clang::tidy::mips

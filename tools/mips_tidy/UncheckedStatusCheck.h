@@ -1,0 +1,41 @@
+// mips-unchecked-status
+//
+// Rationale:
+//
+//   The library is exception-free: a mips::Status / mips::StatusOr<T>
+//   return value IS the error channel.  A call whose result is discarded
+//   silently converts "Open failed", "invalid spec", "shard build
+//   failed" into undefined downstream behaviour — the worst kind being a
+//   partially-initialised engine serving wrong-but-plausible top-k.
+//   src/common/status.h marks both types [[nodiscard]], which covers
+//   compilers; this check covers the loopholes the attribute leaves open
+//   and keeps firing if a refactor drops the attribute.
+//
+// What the check flags: any call to a function returning Status or
+// StatusOr<T> (by value) whose result is used as a plain statement —
+// directly in a compound statement, as an if/loop/case body, or as the
+// left side of a comma operator.
+//
+// What it accepts: an explicit `(void)` cast.  Matching [[nodiscard]]
+// semantics keeps one rule: a visible, greppable discard is a reviewed
+// decision; an invisible one is a bug.
+//
+// Suppression: `// mips-tidy: allow(unchecked-status): <reason>`.
+
+#ifndef MIPS_TOOLS_MIPS_TIDY_UNCHECKED_STATUS_CHECK_H_
+#define MIPS_TOOLS_MIPS_TIDY_UNCHECKED_STATUS_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::mips {
+
+class UncheckedStatusCheck : public ClangTidyCheck {
+ public:
+  using ClangTidyCheck::ClangTidyCheck;
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+}  // namespace clang::tidy::mips
+
+#endif  // MIPS_TOOLS_MIPS_TIDY_UNCHECKED_STATUS_CHECK_H_
