@@ -190,7 +190,10 @@ class SCOPED_CAPABILITY MutexLock {
 
   /// Manual release/reacquire inside the scope.
   void Unlock() RELEASE() {
-    mu_.ClearOwner();
+    // Guard like the destructor: on a double Unlock we must not erase
+    // the owner record of whichever thread DOES hold the mutex before
+    // unique_lock throws.
+    if (lock_.owns_lock()) mu_.ClearOwner();
     lock_.unlock();
   }
   void Lock() ACQUIRE() {

@@ -44,6 +44,35 @@ double WaivedTimingSum(const std::vector<double>& stage_seconds) {
   return total;
 }
 
+double WaivedWithWrappedReason(const std::vector<double>& stage_seconds) {
+  double total = 0;
+  for (double s : stage_seconds) {
+    // The mandatory reason often wraps onto continuation lines, leaving
+    // the tag two or three comment lines above the statement; the check
+    // must honour the whole contiguous comment block.
+    // mips-tidy: allow(float-accumulation): timing aggregation whose
+    // justification deliberately spans multiple comment lines to pin
+    // the multi-line suppression behaviour.
+    total += s;
+  }
+  return total;
+}
+
+Real LambdaDefinedInsideLoop(const Real* a, const Real* b, int n) {
+  Real out = 0;
+  for (int i = 0; i < n; ++i) {
+    // The lambda body runs once per CALL, not once per iteration of the
+    // lexically enclosing loop — no reduction order is introduced here.
+    auto fold_once = [](Real x, Real y) {
+      Real acc = x;
+      acc += y;
+      return acc;
+    };
+    out = fold_once(out, Dot(a + i, b + i, 1));
+  }
+  return out;
+}
+
 Real NotInALoop(Real a, Real b) {
   Real acc = a;
   acc += b;  // a single fold is one order by construction

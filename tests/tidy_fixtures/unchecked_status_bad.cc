@@ -12,6 +12,7 @@ using mips::StatusOr;
 
 Status DoThing();
 StatusOr<int> ComputeThing();
+Status OtherThing();
 
 void DiscardInCompound() {
   // expect-diagnostic: result of 'DoThing'
@@ -34,6 +35,14 @@ void DiscardInLoop(int n) {
     // expect-diagnostic: result of 'DoThing'
     DoThing();
   }
+}
+
+void DiscardViaCommaOperator() {
+  // BOTH sides of a statement-position comma are discarded: the LHS by
+  // the comma itself, the RHS because the comma's value is thrown away.
+  // expect-diagnostic: result of 'DoThing'
+  // expect-diagnostic: result of 'OtherThing'
+  DoThing(), OtherThing();
 }
 
 }  // namespace fixture

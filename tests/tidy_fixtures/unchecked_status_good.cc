@@ -39,4 +39,10 @@ void VisibleDiscard() {
 
 bool UseTheValue() { return DoThing().ok(); }
 
+Status CommaResultIsUsed(int* counter) {
+  // The comma's RHS is only discarded when the comma itself is; here
+  // its value is returned, so nothing is lost.
+  return ++*counter, DoThing();
+}
+
 }  // namespace fixture

@@ -41,6 +41,37 @@ const FunctionDecl *EnclosingFunction(ASTContext &Ctx, const Stmt &S) {
   return nullptr;
 }
 
+/// True if `S` sits under a loop with no intervening function, lambda,
+/// or local-class boundary — i.e. the loop actually re-executes `S`.  A
+/// `+=` inside a lambda (or local class member) that is merely DEFINED
+/// inside a loop runs once per call, not once per iteration, and must
+/// not be treated as a reduction.
+bool InsideLoopSameCallable(ASTContext &Ctx, const Stmt &S) {
+  auto Parents = Ctx.getParents(S);
+  while (!Parents.empty()) {
+    const auto &Parent = Parents[0];
+    if (const auto *PS = Parent.get<Stmt>()) {
+      if (isa<ForStmt>(PS) || isa<WhileStmt>(PS) || isa<DoStmt>(PS) ||
+          isa<CXXForRangeStmt>(PS)) {
+        return true;
+      }
+      if (isa<LambdaExpr>(PS)) return false;
+      Parents = Ctx.getParents(*PS);
+      continue;
+    }
+    if (const auto *PD = Parent.get<Decl>()) {
+      if (isa<FunctionDecl>(PD) || isa<BlockDecl>(PD) ||
+          isa<RecordDecl>(PD)) {
+        return false;
+      }
+      Parents = Ctx.getParents(*PD);
+      continue;
+    }
+    break;
+  }
+  return false;
+}
+
 }  // namespace
 
 FloatAccumulationCheck::FloatAccumulationCheck(StringRef Name,
@@ -62,6 +93,9 @@ void FloatAccumulationCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
 }
 
 void FloatAccumulationCheck::registerMatchers(MatchFinder *Finder) {
+  // Coarse prefilter only: hasAncestor crosses function and lambda
+  // boundaries, so check() re-verifies with InsideLoopSameCallable that
+  // the loop actually re-executes the statement.
   const auto InsideLoop = hasAncestor(
       stmt(anyOf(forStmt(), whileStmt(), doStmt(), cxxForRangeStmt())));
   // Builtin compound assignment; overloaded operator+= on class types is
@@ -105,6 +139,7 @@ void FloatAccumulationCheck::check(const MatchFinder::MatchResult &Result) {
         !LhsTy.getCanonicalType()->isRealFloatingType()) {
       return;
     }
+    if (!InsideLoopSameCallable(*Result.Context, *Acc)) return;
     const SourceLocation Loc = SM.getExpansionLoc(Acc->getOperatorLoc());
     if (isExemptLocation(SM, Loc)) return;
     if (isWhitelistedFunction(Result, Acc)) return;

@@ -4,8 +4,10 @@
 //
 //   // mips-tidy: allow(<check-tag>): <reason>
 //
-// placed on the flagged line or the line directly above it.  Unlike a
-// bare NOLINT, the tag names the specific contract being waived and the
+// placed on the flagged line or in the block of comment lines directly
+// above it (the reason may wrap onto continuation lines, so the tag can
+// sit several comment lines above the statement).  Unlike a bare
+// NOLINT, the tag names the specific contract being waived and the
 // grammar demands a reason after the colon, so a suppression reads as a
 // reviewed decision, not a silencing.  (NOLINT still works — clang-tidy
 // honours it before the check runs — but the repo convention is the
@@ -29,8 +31,16 @@ inline llvm::StringRef LineContaining(llvm::StringRef Buffer, size_t Offset) {
   return Buffer.slice(Begin, End);
 }
 
-/// True if the line holding `Loc` — or the line directly above it —
-/// carries a `mips-tidy: allow(<Tag>)` suppression comment.
+/// True if `Line` holds nothing but a `//` comment (and whitespace).
+inline bool IsCommentOnlyLine(llvm::StringRef Line) {
+  return Line.trim().starts_with("//");
+}
+
+/// True if the line holding `Loc` — or any line in the contiguous run of
+/// comment-only lines directly above it — carries a
+/// `mips-tidy: allow(<Tag>)` suppression comment.  Walking the whole
+/// comment block (rather than just one line) lets the mandatory reason
+/// wrap onto continuation lines without detaching the tag.
 inline bool HasAllowComment(const SourceManager &SM, SourceLocation Loc,
                             llvm::StringRef Tag) {
   Loc = SM.getExpansionLoc(Loc);
@@ -41,12 +51,20 @@ inline bool HasAllowComment(const SourceManager &SM, SourceLocation Loc,
   const unsigned Offset = SM.getFileOffset(Loc);
   const std::string Needle = ("mips-tidy: allow(" + Tag + ")").str();
 
-  llvm::StringRef Line = LineContaining(Buffer, Offset);
-  if (Line.contains(Needle)) return true;
-  // Previous line: step to the character before this line's start.
+  if (LineContaining(Buffer, Offset).contains(Needle)) return true;
+  // Walk upward while the preceding lines are comment-only: `Begin` is
+  // the '\n' terminating the line above the one last examined.
   size_t Begin = Buffer.rfind('\n', Offset);
-  if (Begin == llvm::StringRef::npos || Begin == 0) return false;
-  return LineContaining(Buffer, Begin - 1).contains(Needle);
+  while (Begin != llvm::StringRef::npos && Begin > 0) {
+    // A blank line ends the run (LineContaining would silently skip it
+    // and attach a comment block on the far side of the gap).
+    if (Buffer[Begin - 1] == '\n') return false;
+    llvm::StringRef Prev = LineContaining(Buffer, Begin - 1);
+    if (!IsCommentOnlyLine(Prev)) return false;
+    if (Prev.contains(Needle)) return true;
+    Begin = Buffer.rfind('\n', Begin - 1);
+  }
+  return false;
 }
 
 /// Filename (as spelled in the compile command) for a location, or empty.

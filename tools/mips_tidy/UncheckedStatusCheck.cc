@@ -19,7 +19,16 @@ void UncheckedStatusCheck::registerMatchers(MatchFinder *Finder) {
   // `ignoringImplicit` strips the ExprWithCleanups / CXXBindTemporaryExpr
   // shells around a discarded prvalue of class type, but NOT an explicit
   // `(void)` cast — so `(void)DoThing();` stays a legal, visible discard.
-  const auto Discarded = expr(ignoringImplicit(FallibleCall));
+  const auto DiscardedCall = expr(ignoringImplicit(FallibleCall));
+  // A discarded expression is either the call itself, or a comma
+  // operator whose RHS is the call: in `Foo(), Bar();` the value of
+  // Bar() — the comma's result — is what gets discarded.  (The comma's
+  // LHS is always discarded regardless of position; the dedicated
+  // matcher below handles it everywhere.)
+  const auto Discarded = expr(anyOf(
+      DiscardedCall,
+      ignoringImplicit(binaryOperator(hasOperatorName(","),
+                                      hasRHS(DiscardedCall)))));
 
   Finder->addMatcher(compoundStmt(forEach(Discarded)), this);
   Finder->addMatcher(
@@ -32,6 +41,9 @@ void UncheckedStatusCheck::registerMatchers(MatchFinder *Finder) {
                      this);
   Finder->addMatcher(cxxForRangeStmt(hasBody(Discarded)), this);
   Finder->addMatcher(switchCase(forEach(Discarded)), this);
+  // A comma's LHS is discarded wherever the comma sits; `Discarded`
+  // (not just DiscardedCall) also reaches the middle of a nested chain
+  // like `A(), B(), C();`, whose left comma is the outer comma's LHS.
   Finder->addMatcher(
       binaryOperator(hasOperatorName(","), hasLHS(Discarded)), this);
 }
