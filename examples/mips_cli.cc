@@ -14,6 +14,11 @@
 //   # or pick one solver and tune it via its spec
 //   ./build/examples/mips_cli --users=/tmp/u.bin --items=/tmp/i.bin
 //       --solver=maximus:clusters=64,block_size=2048
+//   # persist the catalog as a mmap-able segment, then restart from it
+//   ./build/examples/mips_cli --users=/tmp/u.bin --items=/tmp/i.bin
+//       --save_segment=/tmp/items.seg
+//   ./build/examples/mips_cli --users=/tmp/u.bin
+//       --load_segment=/tmp/items.seg --k=10 --out=/tmp/topk.csv
 //
 // --solver accepts "optimus" (OPTIMUS over the --candidates list) or any
 // registry spec "name:key=value,...".  --list_solvers prints every
@@ -23,10 +28,13 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
+#include "catalog/segment.h"
 #include "common/flags.h"
 #include "common/timer.h"
 #include "core/engine.h"
@@ -135,6 +143,8 @@ int main(int argc, char** argv) {
   std::string demo;
   std::string users_out = "/tmp/mips_users.bin";
   std::string items_out = "/tmp/mips_items.bin";
+  std::string save_segment;
+  std::string load_segment;
   double density = 1.0;
   double dense_fraction = 0.0;
   int32_t k = 10;
@@ -190,6 +200,16 @@ int main(int argc, char** argv) {
   flags.Double("demo_scale", &demo_scale, "scale multiplier for --demo");
   flags.String("users_out", &users_out, "--demo: where to write users");
   flags.String("items_out", &items_out, "--demo: where to write items");
+  flags.String("save_segment", &save_segment,
+               "persist the item catalog (post --density sparsification) "
+               "as a mmap-able catalog segment at this path "
+               "(catalog/segment.h: versioned header, checksummed, "
+               "crash-safe rename install)");
+  flags.String("load_segment", &load_segment,
+               "serve items from a catalog segment instead of --items; "
+               "the engine opens zero-copy over the mapped pages "
+               "(incompatible with --density<1: the mapping is "
+               "read-only)");
   flags.Parse(argc, argv).CheckOK();
 
   // --- Schema listing mode. ---
@@ -220,34 +240,63 @@ int main(int argc, char** argv) {
   }
 
   // --- Serving mode. ---
-  if (users_path.empty() || items_path.empty()) {
-    std::fprintf(stderr, "need --users and --items (or --demo)\n%s",
+  if (users_path.empty() || (items_path.empty() && load_segment.empty())) {
+    std::fprintf(stderr,
+                 "need --users and --items or --load_segment (or --demo)\n%s",
                  flags.Usage().c_str());
     return 2;
   }
   auto users = LoadAny(users_path);
   users.status().CheckOK();
-  auto items = LoadAny(items_path);
-  items.status().CheckOK();
-  if (users->cols() != items->cols()) {
+
+  // Items come from a matrix file (mutable, so --density can sparsify)
+  // or from a mapped catalog segment (zero-copy, read-only).
+  Matrix items_owned;
+  std::optional<CatalogSegment> segment;
+  ConstRowBlock item_view;
+  if (!load_segment.empty()) {
+    if (density < 1.0) {
+      std::fprintf(stderr,
+                   "--density<1 rewrites item rows, but a mapped segment "
+                   "is read-only; load via --items instead\n");
+      return 2;
+    }
+    auto opened = CatalogSegment::Open(load_segment);
+    opened.status().CheckOK();
+    segment.emplace(std::move(*opened));
+    item_view = segment->items();
+    std::printf("mapped segment %s: %d items, f=%d\n", load_segment.c_str(),
+                item_view.rows(), item_view.cols());
+  } else {
+    auto items = LoadAny(items_path);
+    items.status().CheckOK();
+    items_owned = std::move(*items);
+    if (density < 1.0) {
+      SparsifyRows(&items_owned, static_cast<Real>(density),
+                   static_cast<Real>(dense_fraction), /*seed=*/1)
+          .CheckOK();
+      const CsrMatrix::Stats s =
+          CsrMatrix::FromDense(ConstRowBlock(items_owned)).ComputeStats();
+      std::printf(
+          "sparsified items: density %.4f (%lld nnz; row nnz min/mean/max "
+          "%d/%.1f/%d)\n",
+          s.density, static_cast<long long>(s.nnz), s.min_row_nnz,
+          s.mean_row_nnz, s.max_row_nnz);
+    }
+    item_view = ConstRowBlock(items_owned);
+  }
+  if (users->cols() != item_view.cols()) {
     std::fprintf(stderr, "factor dimensions differ: %d vs %d\n",
-                 users->cols(), items->cols());
+                 users->cols(), item_view.cols());
     return 2;
   }
-  if (density < 1.0) {
-    SparsifyRows(&*items, static_cast<Real>(density),
-                 static_cast<Real>(dense_fraction), /*seed=*/1)
-        .CheckOK();
-    const CsrMatrix::Stats s =
-        CsrMatrix::FromDense(ConstRowBlock(*items)).ComputeStats();
-    std::printf(
-        "sparsified items: density %.4f (%lld nnz; row nnz min/mean/max "
-        "%d/%.1f/%d)\n",
-        s.density, static_cast<long long>(s.nnz), s.min_row_nnz,
-        s.mean_row_nnz, s.max_row_nnz);
+  if (!save_segment.empty()) {
+    CatalogSegment::Write(item_view, save_segment).CheckOK();
+    std::printf("wrote segment %s (%d items, f=%d)\n", save_segment.c_str(),
+                item_view.rows(), item_view.cols());
   }
   std::printf("model: %d users x %d items, f=%d; k=%d\n", users->rows(),
-              items->rows(), users->cols(), k);
+              item_view.rows(), users->cols(), k);
 
   EngineOptions options;
   options.k = k;
@@ -285,8 +334,7 @@ int main(int argc, char** argv) {
     sharded_options.sharding = *strategy;
     sharded_options.engine = options;
     sharded_options.threads = threads;
-    auto engine = ShardedMipsEngine::Open(ConstRowBlock(*users),
-                                          ConstRowBlock(*items),
+    auto engine = ShardedMipsEngine::Open(ConstRowBlock(*users), item_view,
                                           sharded_options);
     if (!engine.ok()) {
       std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
@@ -313,8 +361,8 @@ int main(int argc, char** argv) {
       elapsed = timer.Seconds();
     }
   } else {
-    auto engine = MipsEngine::Open(ConstRowBlock(*users),
-                                   ConstRowBlock(*items), options);
+    auto engine =
+        MipsEngine::Open(ConstRowBlock(*users), item_view, options);
     if (!engine.ok()) {
       std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
       return 2;

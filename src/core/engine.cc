@@ -201,8 +201,9 @@ void MipsEngine::InsertDecision(DecisionKey key, std::size_t winner) {
   winner_by_k_.erase(key);  // re-insert after an expiry refreshes the entry
   winner_by_k_.emplace(
       std::piecewise_construct, std::forward_as_tuple(key),
-      std::forward_as_tuple(winner, std::chrono::steady_clock::now(),
-                            GemmKernelEpoch()));
+      std::forward_as_tuple(
+          winner, std::chrono::steady_clock::now(), GemmKernelEpoch(),
+          decision_generation_.load(std::memory_order_relaxed)));
   winner_by_k_.at(key).last_used.store(
       decision_clock_.fetch_add(1, std::memory_order_relaxed) + 1,
       std::memory_order_relaxed);
@@ -240,6 +241,12 @@ bool MipsEngine::DecisionExpired(const CachedDecision& entry) const {
   // estimate in this entry was measured under — stale immediately, no
   // TTL required.
   if (entry.kernel_epoch != GemmKernelEpoch()) return true;
+  // Same idiom for InvalidateDecisions: the caller declared the data
+  // regime the entry was measured under gone (e.g. a catalog swap).
+  if (entry.generation !=
+      decision_generation_.load(std::memory_order_relaxed)) {
+    return true;
+  }
   if (options_.decision_ttl_seconds <= 0) return false;
   return std::chrono::steady_clock::now() - entry.created >
          std::chrono::duration<double>(options_.decision_ttl_seconds);
@@ -293,7 +300,9 @@ StatusOr<std::size_t> MipsEngine::StrategyFor(Index k, Index batch_rows) {
       // The stale entry stays in place until the fresh decision below
       // succeeds (InsertDecision replaces it), so a decision failure
       // never leaves the pinned opening decision missing.
-      if (it->second.kernel_epoch != GemmKernelEpoch()) {
+      if (it->second.kernel_epoch != GemmKernelEpoch() ||
+          it->second.generation !=
+              decision_generation_.load(std::memory_order_relaxed)) {
         invalidated = true;
       } else {
         expired = true;
@@ -436,6 +445,15 @@ Status MipsEngine::TopKNewUsers(const Real* user_vectors, Index num_rows,
   stats_.serve_seconds.fetch_add(timer.Seconds(), std::memory_order_relaxed);
   stats_.new_users_served.fetch_add(num_rows, std::memory_order_relaxed);
   return Status::OK();
+}
+
+int64_t MipsEngine::InvalidateDecisions() {
+  // Shared lock suffices: the generation is an atomic the bump publishes
+  // to every later DecisionExpired check, and the size read only feeds
+  // the retirement count.
+  ReaderMutexLock lock(decision_mu_);
+  decision_generation_.fetch_add(1, std::memory_order_relaxed);
+  return static_cast<int64_t>(winner_by_k_.size());
 }
 
 Status MipsEngine::ForceStrategy(const std::string& name_or_spec) {

@@ -180,6 +180,21 @@ class MipsEngine {
   Status TopKNewUsers(const Real* user_vectors, Index num_rows, Index k,
                       TopKResult* out);
 
+  /// Logically drops every cached per-(k, shape) decision by bumping the
+  /// engine's decision generation — the same lazily-checked idiom as the
+  /// GEMM kernel install epoch: entries created under an older
+  /// generation report expired at their next lookup and the query
+  /// re-runs the sampling decision (counted as a cache invalidation).
+  /// For an embedding catalog layer this is the "statistics changed"
+  /// hook: after an item-set swap, winners measured on the old catalog
+  /// no longer describe reality.  Returns the number of decisions cached
+  /// at the bump (how many were retired).  When re-deciding is
+  /// impossible (single candidate, or redecide_on_new_k = false) the
+  /// bump is a no-op on serving — the opening winner keeps serving, and
+  /// exactness is unaffected either way.  Safe to call concurrently with
+  /// queries.
+  int64_t InvalidateDecisions() EXCLUDES(decision_mu_);
+
   /// Overrides the optimizer: every subsequent query uses the candidate
   /// whose solver name — or, for tuned variants of the same solver,
   /// whose exact opening spec — matches `name_or_spec`.  NotFound if no
@@ -304,11 +319,14 @@ class MipsEngine {
   /// member never needs to move.
   struct CachedDecision {
     CachedDecision(std::size_t w, std::chrono::steady_clock::time_point t,
-                   uint64_t epoch)
-        : winner(w), created(t), kernel_epoch(epoch) {}
+                   uint64_t epoch, uint64_t gen)
+        : winner(w), created(t), kernel_epoch(epoch), generation(gen) {}
     std::size_t winner;
     std::chrono::steady_clock::time_point created;
     uint64_t kernel_epoch;
+    /// decision_generation_ at insertion; a mismatch at lookup means
+    /// InvalidateDecisions ran since and the entry is stale.
+    uint64_t generation;
     mutable std::atomic<uint64_t> last_used{0};
   };
 
@@ -319,6 +337,8 @@ class MipsEngine {
   std::map<DecisionKey, CachedDecision> winner_by_k_
       GUARDED_BY(decision_mu_);
   std::atomic<uint64_t> decision_clock_{0};
+  /// Bumped by InvalidateDecisions; stamped into every cached decision.
+  std::atomic<uint64_t> decision_generation_{0};
 
   /// Caches `winner` for `key`, evicting the least-recently-used
   /// non-pinned entries while the cache exceeds capacity.

@@ -8,6 +8,8 @@
 #ifndef MIPS_MIPS_H_
 #define MIPS_MIPS_H_
 
+#include "catalog/live_catalog.h" // IWYU pragma: export
+#include "catalog/segment.h"      // IWYU pragma: export
 #include "common/status.h"        // IWYU pragma: export
 #include "common/thread_pool.h"   // IWYU pragma: export
 #include "common/types.h"         // IWYU pragma: export

@@ -1,5 +1,6 @@
 #include "shard/partition.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "common/thread_pool.h"
@@ -12,6 +13,8 @@ const char* ToString(ShardingStrategy strategy) {
       return "contiguous";
     case ShardingStrategy::kHash:
       return "hash";
+    case ShardingStrategy::kGrowth:
+      return "growth";
   }
   return "unknown";
 }
@@ -19,8 +22,9 @@ const char* ToString(ShardingStrategy strategy) {
 StatusOr<ShardingStrategy> ParseShardingStrategy(const std::string& name) {
   if (name == "contiguous") return ShardingStrategy::kContiguous;
   if (name == "hash") return ShardingStrategy::kHash;
+  if (name == "growth") return ShardingStrategy::kGrowth;
   return Status::InvalidArgument("unknown sharding strategy \"" + name +
-                                 "\" (want contiguous or hash)");
+                                 "\" (want contiguous, hash, or growth)");
 }
 
 int HashShardOfItem(Index global_id, int num_shards) {
@@ -36,7 +40,8 @@ int HashShardOfItem(Index global_id, int num_shards) {
 
 StatusOr<ItemPartition> ItemPartition::Create(const ConstRowBlock& items,
                                               int num_shards,
-                                              ShardingStrategy strategy) {
+                                              ShardingStrategy strategy,
+                                              Index growth_block) {
   if (num_shards < 1) {
     return Status::InvalidArgument("num_shards must be >= 1, got " +
                                    std::to_string(num_shards));
@@ -44,11 +49,39 @@ StatusOr<ItemPartition> ItemPartition::Create(const ConstRowBlock& items,
   if (items.rows() <= 0) {
     return Status::InvalidArgument("item set must be non-empty");
   }
+  if (growth_block < 0) {
+    return Status::InvalidArgument("growth_block must be >= 0, got " +
+                                   std::to_string(growth_block));
+  }
 
   ItemPartition partition;
   partition.strategy_ = strategy;
   partition.num_items_ = items.rows();
   partition.shards_.resize(static_cast<std::size_t>(num_shards));
+
+  if (strategy == ShardingStrategy::kGrowth) {
+    // Fixed-size prefix blocks; the last shard absorbs all growth past
+    // (S-1)*B.  With B pinned across successive Create calls, only that
+    // last shard's contents change as the catalog appends.
+    const Index n = items.rows();
+    const Index derived =
+        (n + static_cast<Index>(num_shards) - 1) /
+        static_cast<Index>(num_shards);
+    const Index block = growth_block > 0 ? growth_block
+                                         : std::max<Index>(derived, 1);
+    partition.growth_block_ = block;
+    for (int s = 0; s < num_shards; ++s) {
+      ItemShard& shard = partition.shards_[static_cast<std::size_t>(s)];
+      const Index begin = std::min<Index>(static_cast<Index>(s) * block, n);
+      const Index end = s == num_shards - 1
+                            ? n
+                            : std::min<Index>(begin + block, n);
+      shard.global_offset = begin;
+      shard.items = ConstRowBlock(end > begin ? items.Row(begin) : nullptr,
+                                  end - begin, items.cols());
+    }
+    return partition;
+  }
 
   if (strategy == ShardingStrategy::kContiguous) {
     const std::vector<RangeChunk> chunks =
@@ -93,6 +126,10 @@ int ItemPartition::ShardOfItem(Index global_id) const {
   MIPS_DCHECK_LT(global_id, num_items_);
   if (strategy_ == ShardingStrategy::kHash) {
     return HashShardOfItem(global_id, num_shards());
+  }
+  if (strategy_ == ShardingStrategy::kGrowth) {
+    return static_cast<int>(std::min<Index>(
+        global_id / growth_block_, static_cast<Index>(num_shards()) - 1));
   }
   for (int s = 0; s < num_shards(); ++s) {
     const ItemShard& shard = shards_[static_cast<std::size_t>(s)];

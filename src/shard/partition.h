@@ -15,6 +15,14 @@
 //     explicit local→global id map.  Spreads any norm/popularity skew
 //     uniformly, so shards stay load-balanced at the cost of one copy of
 //     the item matrix.
+//   * kGrowth — contiguous like kContiguous, but the block size is
+//     PINNED instead of derived from the current item count: shard s
+//     owns rows [s*B, (s+1)*B) and the LAST shard additionally absorbs
+//     everything past (S-1)*B.  Under kContiguous every append re-splits
+//     the range and moves rows between all shards; under kGrowth with a
+//     pinned B, appends land only in the newest shard, so a growing
+//     catalog (catalog/live_catalog.h) re-partitions without disturbing
+//     the prefix shards' item sets.  Zero-copy views, like kContiguous.
 //
 // Every item lives in exactly one shard, so per-shard exact top-K merged
 // across shards (topk/merge.h) reproduces the unsharded answer.
@@ -32,10 +40,10 @@
 namespace mips {
 
 /// Item placement policy; see the file comment.
-enum class ShardingStrategy { kContiguous, kHash };
+enum class ShardingStrategy { kContiguous, kHash, kGrowth };
 
 const char* ToString(ShardingStrategy strategy);
-/// Parses "contiguous" / "hash" (CLI and bench flags).
+/// Parses "contiguous" / "hash" / "growth" (CLI and bench flags).
 StatusOr<ShardingStrategy> ParseShardingStrategy(const std::string& name);
 
 /// Shard index of a global item id under kHash placement (64-bit
@@ -84,9 +92,14 @@ class ItemPartition {
 
   /// Splits `items` into `num_shards` shards under `strategy`.
   /// InvalidArgument for num_shards < 1 or an empty item set.
+  /// `growth_block` pins the kGrowth block size B (0 derives
+  /// ceil(rows / num_shards) from the current item count); it is ignored
+  /// by the other strategies.  Pin B across successive Create calls on a
+  /// growing catalog to keep the prefix shards' contents stable.
   static StatusOr<ItemPartition> Create(const ConstRowBlock& items,
                                         int num_shards,
-                                        ShardingStrategy strategy);
+                                        ShardingStrategy strategy,
+                                        Index growth_block = 0);
 
   int num_shards() const { return static_cast<int>(shards_.size()); }
   const ItemShard& shard(int s) const {
@@ -94,6 +107,8 @@ class ItemPartition {
   }
   ShardingStrategy strategy() const { return strategy_; }
   Index num_items() const { return num_items_; }
+  /// The resolved kGrowth block size (0 under other strategies).
+  Index growth_block() const { return growth_block_; }
 
   /// Inverse map: the shard owning a global item id.
   /// Precondition: 0 <= global_id < num_items() (DCHECKed).
@@ -106,6 +121,8 @@ class ItemPartition {
   std::vector<Matrix> gathered_;
   ShardingStrategy strategy_ = ShardingStrategy::kContiguous;
   Index num_items_ = 0;
+  /// Resolved kGrowth block size B (0 for the other strategies).
+  Index growth_block_ = 0;
 };
 
 }  // namespace mips

@@ -23,8 +23,8 @@ StatusOr<std::unique_ptr<ShardedMipsEngine>> ShardedMipsEngine::Open(
   std::unique_ptr<ShardedMipsEngine> engine(new ShardedMipsEngine());
   engine->users_ = users;
   engine->options_ = options;
-  auto partition =
-      ItemPartition::Create(items, options.num_shards, options.sharding);
+  auto partition = ItemPartition::Create(
+      items, options.num_shards, options.sharding, options.growth_block);
   MIPS_RETURN_IF_ERROR(partition.status());
   engine->partition_ = std::move(*partition);
   if (options.threads > 0) {
@@ -211,6 +211,14 @@ void ShardedMipsEngine::ClearForcedStrategy() {
   for (const int s : active_shards_) {
     engines_[static_cast<std::size_t>(s)]->ClearForcedStrategy();
   }
+}
+
+int64_t ShardedMipsEngine::InvalidateDecisions() {
+  int64_t retired = 0;
+  for (const int s : active_shards_) {
+    retired += engines_[static_cast<std::size_t>(s)]->InvalidateDecisions();
+  }
+  return retired;
 }
 
 std::string ShardedMipsEngine::shard_strategy(int s) const {

@@ -68,6 +68,9 @@ struct ShardedEngineOptions {
   int num_shards = 2;
   /// Item placement policy (see shard/partition.h).
   ShardingStrategy sharding = ShardingStrategy::kContiguous;
+  /// Pinned block size for kGrowth placement (0 = derive from the item
+  /// count at Open); ignored by the other strategies.
+  Index growth_block = 0;
   /// Per-shard engine configuration (decision k, candidate specs,
   /// optimus knobs, redecide/cache policy).  `threads` and `shared_pool`
   /// are overridden: every shard runs on the sharded engine's own pool.
@@ -123,6 +126,11 @@ class ShardedMipsEngine {
   Status ForceStrategyOnShard(int shard, const std::string& name_or_spec);
   /// Returns every shard to decision-driven selection.
   void ClearForcedStrategy();
+
+  /// MipsEngine::InvalidateDecisions over every non-empty shard (the
+  /// catalog layer's swap-time retirement hook); returns the total
+  /// number of cached decisions retired.
+  int64_t InvalidateDecisions();
 
   int num_shards() const { return partition_.num_shards(); }
   const ItemPartition& partition() const { return partition_; }

@@ -6,9 +6,11 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <unordered_set>
 
+#include "catalog/segment.h"
 #include "data/datasets.h"
 #include "data/io.h"
 #include "data/mf_trainer.h"
@@ -285,6 +287,30 @@ TEST(IoTest, CsvEmptyFileGivesEmptyMatrix) {
   ASSERT_TRUE(loaded.ok());
   EXPECT_TRUE(loaded->empty());
   std::remove(path.c_str());
+}
+
+TEST(IoTest, SegmentDurabilityRoundTrip) {
+  // The persistence path a restart takes: train/save a model matrix in
+  // the classic binary format, persist the item catalog as a
+  // CatalogSegment, and reopen both — the mmapped segment must hand back
+  // byte-identical rows an engine can Open() over directly.
+  const Matrix items = testing::RandomMatrix(23, 7, 91);
+  const std::string matrix_path = TempPath("catalog.bin");
+  const std::string segment_path = TempPath("catalog.seg");
+  ASSERT_TRUE(SaveMatrixBinary(items, matrix_path).ok());
+  ASSERT_TRUE(CatalogSegment::Write(ConstRowBlock(items), segment_path).ok());
+
+  auto reloaded = LoadMatrixBinary(matrix_path);
+  ASSERT_TRUE(reloaded.ok());
+  auto segment = CatalogSegment::Open(segment_path);
+  ASSERT_TRUE(segment.ok()) << segment.status().ToString();
+  ASSERT_EQ(segment->rows(), reloaded->rows());
+  ASSERT_EQ(segment->cols(), reloaded->cols());
+  EXPECT_EQ(std::memcmp(segment->items().Row(0), reloaded->data(),
+                        sizeof(Real) * reloaded->size()),
+            0);
+  std::remove(matrix_path.c_str());
+  std::remove(segment_path.c_str());
 }
 
 // ----------------------------------------------------------- MF trainer

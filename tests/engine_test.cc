@@ -468,6 +468,51 @@ TEST(EngineTest, KernelReinstallInvalidatesCachedDecisions) {
   ResetGemmKernelForTest();
 }
 
+TEST(EngineTest, InvalidateDecisionsRetiresCachedWinners) {
+  // The catalog-swap hook (catalog/live_catalog.h): an explicit
+  // InvalidateDecisions() bumps the decision generation, so every cached
+  // winner — measured against catalog statistics that no longer serve —
+  // lazily expires on its next lookup exactly like a kernel re-install.
+  const MFModel model = MakeTestModel(120, 60, 6, 43);
+  EngineOptions options = SmallEngineOptions(5);
+  options.solvers = {"bmm", "naive"};
+  auto engine = MipsEngine::Open(ConstRowBlock(model.users),
+                                 ConstRowBlock(model.items), options);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+
+  TopKResult out;
+  const std::vector<Index> batch = {0, 1};
+  ASSERT_TRUE((*engine)->TopK(5, batch, &out).ok());
+  ASSERT_TRUE((*engine)->TopK(7, batch, &out).ok());  // re-decision #1
+  EXPECT_EQ((*engine)->stats().decision_cache_size, 2);
+  EXPECT_EQ((*engine)->stats().redecisions, 1);
+
+  // Returns the number of entries it marked stale (both cached ks).
+  EXPECT_EQ((*engine)->InvalidateDecisions(), 2);
+  MipsEngine::Stats stats = (*engine)->stats();
+  EXPECT_EQ(stats.decision_cache_invalidations, 0);  // lazy: none looked up
+
+  // The next query at each k finds its winner stale, re-decides, and
+  // caches a fresh one under the new generation.
+  ASSERT_TRUE((*engine)->TopK(5, batch, &out).ok());
+  stats = (*engine)->stats();
+  EXPECT_EQ(stats.decision_cache_invalidations, 1);
+  EXPECT_EQ(stats.redecisions, 2);
+  const int64_t hits_before = stats.decision_cache_hits;
+  ASSERT_TRUE((*engine)->TopK(5, batch, &out).ok());
+  stats = (*engine)->stats();
+  EXPECT_EQ(stats.decision_cache_invalidations, 1);
+  EXPECT_EQ(stats.decision_cache_hits, hits_before + 1);
+
+  // Results stay exact across the invalidation.
+  BmmSolver reference;
+  ASSERT_TRUE(reference.Prepare(ConstRowBlock(model.users),
+                                ConstRowBlock(model.items)).ok());
+  TopKResult expected;
+  ASSERT_TRUE(reference.TopKForUsers(5, batch, &expected).ok());
+  ExpectSameTopKScores(out, expected, 1e-9);
+}
+
 TEST(EngineTest, DecisionTtlIgnoredWhenRedecideImpossible) {
   // With re-deciding disabled (or a single candidate) there is nothing
   // to refresh a stale winner with, so the TTL must be inert: no

@@ -128,6 +128,92 @@ TEST(ItemPartitionTest, HashCoversEveryItemOnce) {
   EXPECT_EQ(static_cast<Index>(seen.size()), items.rows());
 }
 
+TEST(ItemPartitionTest, GrowthCoversEveryItemOnce) {
+  const MFModel model = MakeTestModel(10, 23, 4, 6);
+  const ConstRowBlock items(model.items);
+  auto partition = ItemPartition::Create(items, 4, ShardingStrategy::kGrowth);
+  ASSERT_TRUE(partition.ok());
+  // Derived block: ceil(23 / 4) = 6; the last shard absorbs the rest.
+  EXPECT_EQ(partition->growth_block(), 6);
+  EXPECT_EQ(partition->shard(0).num_items(), 6);
+  EXPECT_EQ(partition->shard(3).num_items(), 5);
+
+  std::set<Index> seen;
+  for (int s = 0; s < partition->num_shards(); ++s) {
+    const ItemShard& shard = partition->shard(s);
+    for (Index local = 0; local < shard.num_items(); ++local) {
+      const Index global = shard.ToGlobal(local);
+      EXPECT_TRUE(seen.insert(global).second);
+      EXPECT_EQ(partition->ShardOfItem(global), s);
+      EXPECT_EQ(0, std::memcmp(shard.items.Row(local), items.Row(global),
+                               sizeof(Real) * 4));
+    }
+  }
+  EXPECT_EQ(static_cast<Index>(seen.size()), items.rows());
+}
+
+TEST(ItemPartitionTest, GrowthPinnedBlockKeepsPrefixShardsStable) {
+  // The live-catalog use case: the catalog appends, the partition is
+  // recreated with the SAME pinned block, and only the last shard's
+  // contents may change.
+  const MFModel model = MakeTestModel(10, 40, 4, 7);
+  const ConstRowBlock items(model.items);
+  const Index kBlock = 8;
+
+  auto before = ItemPartition::Create(
+      ConstRowBlock(items.Row(0), 25, 4), 3, ShardingStrategy::kGrowth,
+      kBlock);
+  ASSERT_TRUE(before.ok());
+  auto after = ItemPartition::Create(
+      ConstRowBlock(items.Row(0), 40, 4), 3, ShardingStrategy::kGrowth,
+      kBlock);
+  ASSERT_TRUE(after.ok());
+
+  // Prefix shards: identical ranges before and after the append.
+  for (int s = 0; s < 2; ++s) {
+    EXPECT_EQ(before->shard(s).num_items(), kBlock);
+    EXPECT_EQ(after->shard(s).num_items(), kBlock);
+    EXPECT_EQ(before->shard(s).global_offset, after->shard(s).global_offset);
+    EXPECT_EQ(before->shard(s).items.Row(0), after->shard(s).items.Row(0));
+  }
+  // The append landed entirely in the newest shard.
+  EXPECT_EQ(before->shard(2).num_items(), 25 - 2 * kBlock);
+  EXPECT_EQ(after->shard(2).num_items(), 40 - 2 * kBlock);
+  for (Index id = 25; id < 40; ++id) {
+    EXPECT_EQ(after->ShardOfItem(id), 2);
+  }
+  // Under kContiguous the same append would re-split every shard.
+  auto contiguous = ItemPartition::Create(
+      ConstRowBlock(items.Row(0), 40, 4), 3, ShardingStrategy::kContiguous);
+  ASSERT_TRUE(contiguous.ok());
+  EXPECT_NE(contiguous->shard(0).num_items(), kBlock);
+}
+
+TEST(ItemPartitionTest, GrowthHandlesShortCatalogsAndBadBlocks) {
+  const MFModel model = MakeTestModel(10, 5, 4, 8);
+  const ConstRowBlock items(model.items);
+  // Block larger than the catalog: everything in shard 0, later shards
+  // empty (the last shard's absorb range is empty too).
+  auto partition = ItemPartition::Create(items, 3,
+                                         ShardingStrategy::kGrowth, 100);
+  ASSERT_TRUE(partition.ok());
+  EXPECT_EQ(partition->shard(0).num_items(), 5);
+  EXPECT_EQ(partition->shard(1).num_items(), 0);
+  EXPECT_EQ(partition->shard(2).num_items(), 0);
+  for (Index id = 0; id < 5; ++id) EXPECT_EQ(partition->ShardOfItem(id), 0);
+
+  EXPECT_FALSE(ItemPartition::Create(items, 3, ShardingStrategy::kGrowth, -1)
+                   .ok());
+}
+
+TEST(ItemPartitionTest, ParseAndPrintGrowthStrategy) {
+  auto parsed = ParseShardingStrategy("growth");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, ShardingStrategy::kGrowth);
+  EXPECT_STREQ(ToString(ShardingStrategy::kGrowth), "growth");
+  EXPECT_FALSE(ParseShardingStrategy("grow").ok());
+}
+
 TEST(ItemPartitionTest, MoreShardsThanItemsLeavesEmptyShards) {
   const MFModel model = MakeTestModel(10, 3, 4, 4);
   auto partition = ItemPartition::Create(ConstRowBlock(model.items), 8,
@@ -194,7 +280,8 @@ INSTANTIATE_TEST_SUITE_P(
     ShardLayouts, ShardedExactness,
     ::testing::Combine(::testing::Values(2, 3, 5),
                        ::testing::Values(ShardingStrategy::kContiguous,
-                                         ShardingStrategy::kHash)),
+                                         ShardingStrategy::kHash,
+                                         ShardingStrategy::kGrowth)),
     [](const auto& info) {
       return std::to_string(std::get<0>(info.param)) + "shards_" +
              std::string(ToString(std::get<1>(info.param)));
